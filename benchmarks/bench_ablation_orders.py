@@ -1,0 +1,144 @@
+"""A1 — ablation over graph orientations and edge orders (§4).
+
+DESIGN.md calls out the paper's central design choices: which vertex
+order to orient with (exact vs approximate degeneracy) and which edge
+order to peel with (exact greedy vs Algorithm 4). This bench quantifies
+the tradeoff on one dataset: γ / candidate-set sizes, preprocessing
+work/depth, and total cost of the resulting clique search.
+Expected shape: approximate orders cut depth by orders of magnitude while
+inflating γ (and hence search work) by a bounded constant factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import load_dataset
+from repro.bench.reporting import format_table
+from repro.graphs import orient_by_order
+from repro.orders import (
+    approx_community_order,
+    approx_degeneracy_order,
+    candidate_sets_from_rank,
+    community_degeneracy_order,
+    degeneracy_order,
+)
+from repro.pram.tracker import Tracker
+from repro.triangles import build_communities
+
+GRAPH = "ca-dblp-2012"
+
+
+def test_vertex_order_ablation(benchmark, collector):
+    g = load_dataset(GRAPH)
+
+    def run():
+        rows = []
+        for name, fn in [
+            ("exact-degeneracy", lambda tr: degeneracy_order(g, tracker=tr).order),
+            (
+                "approx-degeneracy(eps=.5)",
+                lambda tr: approx_degeneracy_order(g, eps=0.5, tracker=tr).order,
+            ),
+            (
+                "approx-degeneracy(eps=.1)",
+                lambda tr: approx_degeneracy_order(g, eps=0.1, tracker=tr).order,
+            ),
+            ("vertex-id", lambda tr: np.arange(g.num_vertices)),
+        ]:
+            tr = Tracker()
+            order = fn(tr)
+            dag = orient_by_order(g, order)
+            comms = build_communities(dag)
+            rows.append(
+                [
+                    name,
+                    dag.max_out_degree,
+                    comms.max_size,
+                    f"{tr.work:.3g}",
+                    f"{tr.depth:.3g}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    collector.add_text(
+        f"ablation-orders/vertex ({GRAPH})",
+        format_table(["order", "s~ (max outdeg)", "gamma", "prep work", "prep depth"], rows),
+    )
+    by_name = {r[0]: r for r in rows}
+    s_exact = by_name["exact-degeneracy"][1]
+    s_approx = by_name["approx-degeneracy(eps=.5)"][1]
+    assert s_exact <= s_approx <= 3 * s_exact  # (2+eps) guarantee
+    assert float(by_name["approx-degeneracy(eps=.5)"][4]) < float(
+        by_name["exact-degeneracy"][4]
+    )
+
+
+def test_edge_order_ablation(benchmark, collector):
+    g = load_dataset(GRAPH)
+
+    def run():
+        rows = []
+        for name, fn in [
+            ("exact-greedy", lambda tr: community_degeneracy_order(g, tracker=tr)),
+            (
+                "algorithm4(eps=.5)",
+                lambda tr: approx_community_order(g, eps=0.5, tracker=tr),
+            ),
+            (
+                "algorithm4(eps=2)",
+                lambda tr: approx_community_order(g, eps=2.0, tracker=tr),
+            ),
+        ]:
+            tr = Tracker()
+            res = fn(tr)
+            indptr, _ = candidate_sets_from_rank(g, res.edge_rank)
+            max_cand = int(np.diff(indptr).max(initial=0))
+            rows.append(
+                [name, res.sigma, max_cand, res.num_rounds, f"{tr.depth:.3g}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    collector.add_text(
+        f"ablation-orders/edge ({GRAPH})",
+        format_table(
+            ["order", "sigma(cert)", "max candidate set", "rounds", "prep depth"], rows
+        ),
+    )
+    exact = rows[0]
+    approx = rows[1]
+    assert approx[2] <= 3.5 * max(exact[1], 1)  # Lemma 4.4
+    assert approx[3] < exact[3]  # far fewer rounds than m
+
+
+def test_ordering_heuristics_ablation(benchmark, collector):
+    """Related-work [36] heuristics vs the degeneracy orders."""
+    from repro.orders import degree_order, fill_order, random_order, triangle_order
+
+    g = load_dataset(GRAPH)
+
+    def run():
+        rows = []
+        for name, order_fn in [
+            ("degeneracy", lambda: degeneracy_order(g).order),
+            ("degree", lambda: degree_order(g)),
+            ("triangle", lambda: triangle_order(g)),
+            ("fill (core+degree)", lambda: fill_order(g)),
+            ("random", lambda: random_order(g, seed=1)),
+        ]:
+            dag = orient_by_order(g, order_fn())
+            comms = build_communities(dag)
+            rows.append([name, dag.max_out_degree, comms.max_size])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    collector.add_text(
+        f"ablation-orders/heuristics ({GRAPH})",
+        format_table(["order", "s~ (max outdeg)", "gamma"], rows),
+    )
+    by = {r[0]: r for r in rows}
+    # The exact degeneracy order minimizes the max out-degree.
+    assert all(by["degeneracy"][1] <= r[1] for r in rows)

@@ -1,0 +1,71 @@
+"""A2 — ablation of the relevant-pair pruning criterion (§2).
+
+The paper's headline mechanism is rejecting pairs with fewer than c−2
+candidates ordered between them. Running Algorithm 1 with the criterion
+disabled isolates its effect: identical counts, strictly fewer probes and
+less search work with pruning on — and the saving must grow with k
+(the Θ((1/(1−k/s))^k) factor of §1.3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import load_dataset
+from repro.bench.reporting import format_table
+from repro.core import run_variant
+from repro.pram.tracker import Tracker
+
+GRAPH = "chebyshev4"
+KS = [6, 8, 10]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_pruning_ablation(benchmark, k, collector):
+    g = load_dataset(GRAPH)
+
+    def run():
+        out = {}
+        for prune in (True, False):
+            tr = Tracker()
+            res = run_variant(g, k, "best-work", tr, prune=prune)
+            out[prune] = (res.count, res.stats.probes, tr.phases["search"].work)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert out[True][0] == out[False][0], "pruning must not change the count"
+    assert out[True][1] <= out[False][1]
+    assert out[True][2] <= out[False][2]
+
+    collector.add_text(
+        f"ablation-pruning/{GRAPH} k={k}",
+        format_table(
+            ["pruning", "count", "pair probes", "search work"],
+            [
+                ["on", out[True][0], out[True][1], f"{out[True][2]:.4g}"],
+                ["off", out[False][0], out[False][1], f"{out[False][2]:.4g}"],
+                [
+                    "saving",
+                    "-",
+                    f"{out[False][1] / max(out[True][1], 1):.2f}x",
+                    f"{out[False][2] / max(out[True][2], 1):.2f}x",
+                ],
+            ],
+        ),
+    )
+
+
+def test_pruning_gain_grows_with_k(collector):
+    g = load_dataset(GRAPH)
+    gains = []
+    for k in KS:
+        probes = {}
+        for prune in (True, False):
+            res = run_variant(g, k, "best-work", Tracker(), prune=prune)
+            probes[prune] = res.stats.probes
+        gains.append(probes[False] / max(probes[True], 1))
+    collector.add_text(
+        "ablation-pruning/gain-vs-k",
+        format_table(["k", "probe saving"], [[k, f"{s:.2f}x"] for k, s in zip(KS, gains)]),
+    )
+    assert gains[-1] > gains[0]  # saving grows with clique size

@@ -1,0 +1,32 @@
+"""Figure 8 — runtimes on Orkut, Ca-DBLP-2012, Tech-As-Skitter, Gearbox.
+
+The four-panel figure of the paper: each panel sweeps k = 6..10 for
+c3List / ArbCount / kClist. Expected shape: for k ≥ 8 ArbCount generally
+beats kClist, and c3List wins on the triangle-poor graphs (Skitter,
+Gearbox, DBLP) while Orkut is its hardest instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import load_dataset, run_experiment
+
+GRAPHS = ["orkut", "ca-dblp-2012", "tech-as-skitter", "gearbox"]
+KS = [6, 7, 8, 9, 10]
+ALGOS = ["c3list", "kclist", "arbcount"]
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("algo", ALGOS)
+def test_fig8_cell(benchmark, graph_name, k, algo, collector):
+    g = load_dataset(graph_name)
+    m = run_experiment(g, k, algo, repeats=1, graph_name=graph_name)
+    benchmark.pedantic(
+        lambda: run_experiment(g, k, algo, repeats=1, graph_name=graph_name),
+        rounds=1,
+        iterations=1,
+    )
+    collector.add("fig8", m)
+    assert m.count >= 0

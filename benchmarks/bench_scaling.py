@@ -1,0 +1,103 @@
+"""S1 — simulated strong scaling (the '72 threads' dimension).
+
+The paper reports all runtimes at 72 threads. Our substrate records exact
+work/depth, so we regenerate the implied scaling behaviour: Brent
+T_p = W/p + D for p = 1..72, plus the finer greedy-schedule simulation of
+the outer edge loop (which exposes load imbalance that Brent hides).
+Expected shape: near-linear scaling while W/p ≫ D, flattening at the
+depth floor; c3List's polylog-depth variant keeps scaling further than
+the Θ(n)-depth exact-order variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import load_dataset
+from repro.bench.harness import ALGORITHMS
+from repro.bench.reporting import format_table
+from repro.pram.cost import Cost
+from repro.pram.schedule import greedy_schedule, speedup_curve
+from repro.pram.tracker import Tracker
+
+PROCESSORS = [1, 2, 4, 8, 18, 36, 72]
+
+
+@pytest.mark.parametrize("algo", ["c3list", "c3list-approx", "kclist", "arbcount"])
+def test_scaling_curves(benchmark, algo, collector):
+    g = load_dataset("chebyshev4")
+
+    def measure():
+        tr = Tracker()
+        res = ALGORITHMS[algo](g, 8, tr)
+        return tr, res
+
+    tr, res = benchmark.pedantic(measure, rounds=1, iterations=1)
+    cost = Cost(tr.work, tr.depth)
+    curve = speedup_curve(cost, PROCESSORS)
+
+    rows = []
+    for p in PROCESSORS:
+        tp, speedup = curve[p]
+        sched = greedy_schedule(res.task_log.tasks, p)
+        rows.append(
+            [p, f"{tp:.3g}", f"{speedup:.2f}", f"{sched.makespan:.3g}", f"{sched.utilization:.2f}"]
+        )
+    collector.add_text(
+        f"scaling/chebyshev4 k=8 {algo}",
+        format_table(["p", "T_p (Brent)", "speedup", "loop makespan", "util"], rows),
+    )
+
+    # Speedup must be monotone and capped by work/depth.
+    speedups = [curve[p][1] for p in PROCESSORS]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] <= cost.work / max(cost.depth, 1) + 1
+
+
+def test_depth_floor_ordering(collector):
+    """The approx-order variant must scale further (lower depth floor)."""
+    g = load_dataset("chebyshev4")
+    depths = {}
+    for algo in ("c3list", "c3list-approx"):
+        tr = Tracker()
+        ALGORITHMS[algo](g, 8, tr)
+        depths[algo] = tr.depth
+    assert depths["c3list-approx"] < depths["c3list"]
+    collector.add_text(
+        "scaling/depth-floor",
+        f"exact-order depth = {depths['c3list']:.0f}, "
+        f"approx-order depth = {depths['c3list-approx']:.0f}",
+    )
+
+
+def test_work_stealing_vs_brent(collector):
+    """Work-stealing simulation: the pessimistic lens on 72 threads."""
+    from repro.pram.workstealing import simulate_work_stealing
+
+    g = load_dataset("chebyshev4")
+    tr = Tracker()
+    res = ALGORITHMS["c3list"](g, 8, tr)
+    tasks = res.task_log.tasks
+    rows = []
+    for p in (8, 36, 72):
+        brent = Cost(tr.work, tr.depth).time_on(p)
+        greedy = greedy_schedule(tasks, p)
+        steal = simulate_work_stealing(tasks, p, steal_cost=1.0, seed=0)
+        rows.append(
+            [
+                p,
+                f"{brent:.3g}",
+                f"{greedy.makespan:.3g}",
+                f"{steal.makespan:.3g}",
+                steal.successful_steals,
+            ]
+        )
+        # Work stealing can't beat the greedy loop bound by more than the
+        # serial prefix it doesn't model.
+        assert steal.makespan >= greedy.makespan - 1e-6
+    collector.add_text(
+        "scaling/work-stealing chebyshev4 k=8 (search loop only)",
+        format_table(
+            ["p", "T_p Brent(total)", "greedy loop", "steal loop", "steals"], rows
+        ),
+    )

@@ -1,0 +1,69 @@
+"""S2 — instance-size scaling: the bounds' m-dependence.
+
+Every work bound in Table 1 is linear in m for fixed k and s (the
+k-dependent factor multiplies m). Sweeping each stand-in's scale factor
+at fixed k must therefore show near-linear growth of tracked total work
+in m — superlinear growth would indicate an implementation that violates
+its own bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import load_dataset
+from repro.bench.harness import ALGORITHMS
+from repro.bench.reporting import format_table
+from repro.pram.tracker import Tracker
+
+SCALES = [0.5, 1.0, 2.0]
+
+
+@pytest.mark.parametrize("algo", ["c3list", "kclist"])
+def test_work_scales_linearly_in_m(benchmark, algo, collector):
+    def run():
+        rows = []
+        for scale in SCALES:
+            g = load_dataset("tech-as-skitter", scale=scale)
+            tr = Tracker()
+            res = ALGORITHMS[algo](g, 6, tr)
+            rows.append(
+                (scale, g.num_edges, tr.work, res.count)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    collector.add_text(
+        f"size-scaling/tech-as-skitter k=6 {algo}",
+        format_table(
+            ["scale", "m", "total work", "count", "work/m"],
+            [
+                [s, m, f"{w:.4g}", c, f"{w / m:.1f}"]
+                for s, m, w, c in rows
+            ],
+        ),
+    )
+    # Work per edge must stay within a modest band across a 4x m range
+    # (the bound is O(m·f(k, s)); s drifts slightly with scale).
+    per_edge = [w / m for _, m, w, _ in rows]
+    assert max(per_edge) <= 4 * min(per_edge)
+
+
+def test_scaled_datasets_keep_structure(collector):
+    """The scale knob must preserve each stand-in's shape statistics."""
+    from repro.analysis import graph_summary
+
+    rows = []
+    for scale in SCALES:
+        g = load_dataset("chebyshev4", scale=scale)
+        s = graph_summary(g, f"chebyshev4@{scale}")
+        rows.append(
+            [scale, s.num_vertices, s.num_edges, s.degeneracy, f"{s.triangles_per_edge:.2f}"]
+        )
+    collector.add_text(
+        "size-scaling/structure chebyshev4",
+        format_table(["scale", "n", "m", "s", "T/E"], rows),
+    )
+    degeneracies = [r[3] for r in rows]
+    # Bandwidth (plus the planted cliques) pins s regardless of n.
+    assert max(degeneracies) - min(degeneracies) <= 1

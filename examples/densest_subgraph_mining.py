@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Near-clique mining: k-clique densest subgraph on a noisy network.
+
+The related work the paper builds on (Tsourakakis'15, Mitzenmacher+'15)
+uses k-clique counts to find *near-cliques* — subgraphs that are almost
+complete but would be missed by exact clique search. This example plants
+a near-clique (a 12-clique with 20% of its edges deleted) in a sparse
+background, shows that exact clique listing misses it, and recovers it
+with the k-clique densest-subgraph peel built on this library's counting
+engine.
+
+Run:  python examples/densest_subgraph_mining.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro import count_cliques
+from repro.analysis import hardness_profile
+from repro.bench.reporting import format_table
+from repro.core import kclique_densest_subgraph, max_clique_size
+from repro.graphs import from_edges, gnm_random_graph
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+
+    # Background: sparse random graph.
+    background = gnm_random_graph(400, 800, seed=11)
+    us, vs = background.edge_array()
+    edges = list(zip(us.tolist(), vs.tolist()))
+
+    # Near-clique: 12 chosen vertices, each pair kept with prob 0.8.
+    members = sorted(rng.choice(400, size=12, replace=False).tolist())
+    kept = 0
+    for a, b in itertools.combinations(members, 2):
+        if rng.random() < 0.8:
+            edges.append((a, b))
+            kept += 1
+    graph = from_edges(np.asarray(edges, dtype=np.int64), num_vertices=400)
+    print(f"planted near-clique: 12 vertices, {kept}/66 pairs present")
+
+    profile = hardness_profile(graph, k=4)
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, f"{v:.4g}"] for k, v in profile.items()],
+        )
+    )
+
+    omega = max_clique_size(graph)
+    print(f"\nexact clique number: {omega} (the 12-vertex group is NOT a clique)")
+
+    res = kclique_densest_subgraph(graph, k=4)
+    found = set(res.vertices)
+    overlap = len(found & set(members))
+    print(f"\n4-clique densest subgraph: {len(res.vertices)} vertices, "
+          f"density {res.density:.2f} 4-cliques/vertex")
+    print(f"overlap with the planted near-clique: {overlap}/12 members")
+    precision = overlap / max(len(found), 1)
+    print(f"precision: {precision:.2f}")
+
+    print("\npeel trace (subgraph size -> density), last 8 points:")
+    tail = sorted(res.densities.items())[:8]
+    print(format_table(["|S|", "rho_4(S)"], [[s, f"{d:.3f}"] for s, d in tail]))
+
+
+if __name__ == "__main__":
+    main()

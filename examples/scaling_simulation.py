@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Parallel-scaling study: Brent simulation + real process-based fan-out.
+
+The paper evaluates on 72 threads of a dual-Xeon node. Under CPython the
+GIL forbids shared-memory thread speedups, so this library (a) tracks
+exact CREW-PRAM work/depth and simulates T_p = W/p + D, and (b) offers a
+fork-based process executor for the embarrassingly-parallel outer edge
+loop. This example demonstrates both.
+
+Run:  python examples/scaling_simulation.py
+"""
+
+import numpy as np
+
+from repro.bench import load_dataset
+from repro.bench.reporting import format_table
+from repro.core import run_variant
+from repro.graphs import orient_by_order
+from repro.orders import degeneracy_order
+from repro.pram.cost import Cost
+from repro.pram.executor import available_workers, parallel_map_reduce
+from repro.pram.schedule import greedy_schedule, speedup_curve
+from repro.pram.tracker import Tracker
+from repro.triangles import build_communities
+
+
+def simulated_scaling() -> None:
+    print("=== simulated strong scaling (chebyshev4 stand-in, k=8) ===")
+    g = load_dataset("chebyshev4")
+    rows = []
+    for variant in ("best-work", "best-depth"):
+        tr = Tracker()
+        res = run_variant(g, 8, variant, tr)
+        cost = Cost(tr.work, tr.depth)
+        curve = speedup_curve(cost, [1, 8, 18, 36, 72])
+        sched72 = greedy_schedule(res.task_log.tasks, 72)
+        rows.append(
+            [
+                variant,
+                f"{cost.work:.3g}",
+                f"{cost.depth:.3g}",
+                f"{curve[72][1]:.1f}x",
+                f"{sched72.utilization:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "work", "depth", "speedup @72 (Brent)", "loop util @72"],
+            rows,
+        )
+    )
+    print(
+        "\nThe approximate-order variant trades a constant-factor work"
+        "\nincrease for a polylog depth, so its speedup keeps growing"
+        "\nwhere the exact-order variant hits its Theta(n) depth floor."
+    )
+
+
+# Worker must be module-level for multiprocessing pickling.
+_DAG = None
+_COMMS = None
+
+
+def _count_chunk(edge_ids, k):
+    """Count cliques supported by one chunk of the eligible edges."""
+    from repro.core.recursive import SearchStats, recursive_count
+
+    total = 0
+    for eid in edge_ids.tolist():
+        community = _COMMS.of(int(eid))
+        if community.size < k - 2:
+            continue
+        got, _ = recursive_count(
+            _DAG, _COMMS, community, k - 2, k, SearchStats()
+        )
+        total += got
+    return total
+
+
+def process_fanout() -> None:
+    global _DAG, _COMMS
+    print("\n=== real process-based fan-out of the outer edge loop ===")
+    g = load_dataset("ca-dblp-2012")
+    order = degeneracy_order(g).order
+    _DAG = orient_by_order(g, order)
+    _COMMS = build_communities(_DAG)
+
+    k = 6
+    workers = available_workers()
+    counts = {}
+    import time
+
+    for w in sorted({1, workers}):
+        t0 = time.perf_counter()
+        counts[w] = parallel_map_reduce(
+            _count_chunk, _DAG.num_edges, args=(k,), n_workers=w
+        )
+        print(f"  {w} worker(s): {counts[w]} {k}-cliques in {time.perf_counter() - t0:.2f}s")
+    assert len(set(counts.values())) == 1, "worker count must not change the result"
+    if workers == 1:
+        print("  (only one CPU core available here — fan-out degrades gracefully)")
+
+
+if __name__ == "__main__":
+    simulated_scaling()
+    process_fanout()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Social-network cohesive-group analysis (the paper's intro motivation).
+
+Cliques model tightly-knit groups in social networks. This example builds
+an Orkut-like social graph, profiles its clique spectrum with the
+community-centric algorithm, compares all three contenders' costs, and
+extracts the largest cohesive groups.
+
+Run:  python examples/social_network_motifs.py
+"""
+
+from repro import count_cliques, list_cliques
+from repro.analysis import graph_summary
+from repro.baselines import clique_number, kclist_count, arbcount_count
+from repro.bench.reporting import format_table
+from repro.graphs import powerlaw_cluster_graph
+from repro.pram.tracker import Tracker
+
+
+def main() -> None:
+    # Heavy-tailed degrees + triadic closure: the social-network regime.
+    graph = powerlaw_cluster_graph(1500, 8, 0.55, seed=42)
+    summary = graph_summary(graph, "social", with_sigma=True)
+    print(summary.header())
+    print(summary.row())
+
+    omega = clique_number(graph)
+    print(f"\nclique number (largest cohesive group): {omega}")
+
+    # Clique spectrum: how many groups of each size?
+    print("\nclique spectrum (community-centric c3List vs baselines):")
+    rows = []
+    for k in range(4, min(omega, 9) + 1):
+        tr = Tracker()
+        ours = count_cliques(graph, k, tracker=tr)
+        kcl = kclist_count(graph, k, tracker=Tracker())
+        arb = arbcount_count(graph, k, tracker=Tracker())
+        assert ours.count == kcl.count == arb.count
+        rows.append(
+            [
+                k,
+                ours.count,
+                f"{tr.work:.3g}",
+                f"{kcl.cost.work:.3g}",
+                f"{arb.cost.work:.3g}",
+            ]
+        )
+    print(
+        format_table(
+            ["k", "#cliques", "c3List work", "kClist work", "ArbCount work"], rows
+        )
+    )
+
+    # The most cohesive groups: maximum cliques and their members.
+    top = list_cliques(graph, omega)
+    print(f"\nmaximum cohesive groups (size {omega}): {len(top)}")
+    for group in top[:5]:
+        print(f"  members: {group}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Theory validation: instance statistics, Table-1 bound formulas, and
+numeric checkers for the paper's combinatorial lemmas."""
+
+from .bounds import (
+    BoundInputs,
+    all_work_bounds,
+    depth_best,
+    depth_best_depth,
+    depth_hybrid,
+    pruning_gain,
+    work_arbcount,
+    work_best,
+    work_best_depth,
+    work_cd_best,
+    work_cd_best_depth,
+    work_cd_hybrid,
+    work_chiba_nishizeki,
+    work_hybrid,
+    work_kclist,
+)
+from .combinatorics import (
+    check_lemma_2_2,
+    check_lemma_3_1,
+    check_lemma_4_4,
+    check_observation3,
+    check_observation4,
+    check_observation5,
+)
+from .extremal import (
+    eppstein_maximal_clique_bound,
+    hardness_profile,
+    max_clique_size_bound,
+    per_size_clique_bound,
+    wood_total_clique_bound,
+)
+from .stats import GraphSummary, arboricity_bounds, graph_summary
+
+__all__ = [
+    "BoundInputs",
+    "all_work_bounds",
+    "pruning_gain",
+    "work_chiba_nishizeki",
+    "work_kclist",
+    "work_arbcount",
+    "work_best",
+    "work_hybrid",
+    "work_best_depth",
+    "work_cd_best",
+    "work_cd_hybrid",
+    "work_cd_best_depth",
+    "depth_best",
+    "depth_hybrid",
+    "depth_best_depth",
+    "check_observation3",
+    "check_observation4",
+    "check_lemma_2_2",
+    "check_lemma_3_1",
+    "check_observation5",
+    "check_lemma_4_4",
+    "GraphSummary",
+    "graph_summary",
+    "arboricity_bounds",
+    "wood_total_clique_bound",
+    "max_clique_size_bound",
+    "eppstein_maximal_clique_bound",
+    "per_size_clique_bound",
+    "hardness_profile",
+]

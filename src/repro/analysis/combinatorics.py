@@ -1,0 +1,114 @@
+"""Numeric validators for the paper's combinatorial claims (§3, §4.3).
+
+Each function checks one observation/lemma on a concrete instance and
+returns the two sides of the (in)equality so property-based tests can
+assert them across random graphs:
+
+* Observation 3 — |P_c^±(V)| = |V| − (c+1);
+* Observation 4 — |R_c^P(V)| = binom(|V|−c, 2);
+* Lemma 3.1 / Lemma 2.2 — the relevant-edge recursion sums;
+* Observation 5 — a σ-community-degenerate graph has ≤ σ·m triangles;
+* Lemma 4.4 — Algorithm 4's candidate sets have size ≤ (3+ε)σ.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.relevant import (
+    num_relevant_pairs,
+    relevant_edges,
+    relevant_in_vertices,
+    relevant_out_vertices,
+    relevant_pairs,
+)
+from ..graphs.csr import CSRGraph
+from ..graphs.digraph import OrientedDAG
+from ..orders.approx_community import approx_community_order
+from ..orders.community_order import (
+    candidate_sets_from_rank,
+    community_degeneracy_order,
+    undirected_triangles,
+)
+from ..triangles.communities import build_communities
+
+__all__ = [
+    "check_observation3",
+    "check_observation4",
+    "check_lemma_2_2",
+    "check_lemma_3_1",
+    "check_observation5",
+    "check_lemma_4_4",
+]
+
+
+def check_observation3(size: int, c: int) -> Tuple[int, int]:
+    """(counted |P_c^+|, formula max(|V|−(c+1), 0)) — must be equal."""
+    candidates = np.arange(size, dtype=np.int32)
+    counted = relevant_out_vertices(candidates, c).size
+    counted_in = relevant_in_vertices(candidates, c).size
+    assert counted == counted_in, "out/in relevant-vertex counts must agree"
+    return counted, max(size - (c + 1), 0)
+
+
+def check_observation4(size: int, c: int) -> Tuple[int, int]:
+    """(enumerated |R_c^P|, binom(|V|−c, 2)) — must be equal."""
+    candidates = np.arange(size, dtype=np.int32)
+    enumerated = sum(1 for _ in relevant_pairs(candidates, c))
+    return enumerated, num_relevant_pairs(size, c)
+
+
+def _relevant_edge_sum(dag: OrientedDAG, c: int) -> Tuple[float, int]:
+    """LHS of Lemma 2.2 on the whole DAG: Σ_{e∈R_c^E} |R_{c−2}^E(G[C(e)])|,
+    plus |R_c^E(G)| for the RHS."""
+    comms = build_communities(dag)
+    all_vertices = np.arange(dag.num_vertices, dtype=np.int32)
+    lhs = 0.0
+    count_rel_edges = 0
+    for u, v in relevant_edges(dag, all_vertices, c):
+        count_rel_edges += 1
+        community = comms.of_pair(u, v)
+        inner = sum(1 for _ in relevant_edges(dag, community, c - 2))
+        lhs += inner
+    return lhs, count_rel_edges
+
+
+def check_lemma_2_2(dag: OrientedDAG, c: int) -> Tuple[float, float]:
+    """(LHS, ((n−c)/2)² · |R_c^E(G)|) — LHS must be ≤ RHS."""
+    if c < 2:
+        raise ValueError("Lemma 2.2 requires c >= 2")
+    lhs, rel_edges = _relevant_edge_sum(dag, c)
+    n = dag.num_vertices
+    rhs = ((n - c) / 2.0) ** 2 * rel_edges
+    return lhs, rhs
+
+
+def check_lemma_3_1(dag: OrientedDAG, c: int) -> Tuple[float, float]:
+    """(LHS, binom(γ−c+2, 2) · |R_c^E(G)|) — LHS must be ≤ RHS."""
+    if c < 2:
+        raise ValueError("Lemma 3.1 requires c >= 2")
+    comms = build_communities(dag)
+    gamma = comms.max_size
+    lhs, rel_edges = _relevant_edge_sum(dag, c)
+    top = gamma - c + 2
+    rhs = (top * (top - 1) / 2.0 if top >= 2 else 0.0) * rel_edges
+    return lhs, rhs
+
+
+def check_observation5(graph: CSRGraph) -> Tuple[int, int]:
+    """(T, σ·m) — T must be ≤ σ·m (Observation 5)."""
+    tri, _ = undirected_triangles(graph)
+    sigma = community_degeneracy_order(graph).sigma
+    return int(tri.shape[0]), sigma * graph.num_edges
+
+
+def check_lemma_4_4(graph: CSRGraph, eps: float = 0.5) -> Tuple[int, float]:
+    """(max |V′(e)| under Algorithm 4's order, (3+ε)·σ) — must be ≤."""
+    exact_sigma = community_degeneracy_order(graph).sigma
+    approx = approx_community_order(graph, eps=eps)
+    indptr, _ = candidate_sets_from_rank(graph, approx.edge_rank)
+    sizes = np.diff(indptr)
+    max_candidate = int(sizes.max()) if sizes.size else 0
+    return max_candidate, (3.0 + eps) * exact_sigma

@@ -1,0 +1,82 @@
+"""Extremal bounds on clique counts in sparse graphs.
+
+The paper motivates its bounds with extremal facts: an s-degenerate graph
+has at most ``(n − s + 1)·2^s`` cliques overall [Wood '07], no clique
+larger than ``s + 1``, and at most ``(n − s)·3^{s/3}`` *maximal* cliques
+[Eppstein et al. '10]; a graph with arboricity α has no ``(2α+1)``-clique.
+These are used by the property tests as universal sanity envelopes for
+every counting engine, and exposed to users profiling instance hardness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..graphs.csr import CSRGraph
+from ..orders.degeneracy import degeneracy_order
+
+__all__ = [
+    "wood_total_clique_bound",
+    "max_clique_size_bound",
+    "eppstein_maximal_clique_bound",
+    "per_size_clique_bound",
+    "hardness_profile",
+]
+
+
+def wood_total_clique_bound(n: int, s: int) -> float:
+    """Wood's bound: an s-degenerate graph has ≤ (n − s + 1)·2^s cliques.
+
+    Counts non-empty cliques of *all* sizes (including vertices/edges).
+    """
+    if n <= 0:
+        return 0.0
+    s = min(s, n - 1)
+    return float(max(n - s + 1, 1)) * (2.0**s)
+
+
+def max_clique_size_bound(s: int) -> int:
+    """ω ≤ s + 1: an s-degenerate graph has no (s+2)-clique (§1.1)."""
+    if s < 0:
+        raise ValueError("degeneracy must be non-negative")
+    return s + 1
+
+
+def eppstein_maximal_clique_bound(n: int, s: int) -> float:
+    """≤ (n − s)·3^{s/3} maximal cliques in an s-degenerate graph [29]."""
+    if n <= 0:
+        return 0.0
+    return float(max(n - s, 1)) * (3.0 ** (s / 3.0))
+
+
+def per_size_clique_bound(n: int, s: int, k: int) -> float:
+    """Upper bound on the number of k-cliques: n · C(s, k−1).
+
+    Each k-clique has a unique lowest vertex in the degeneracy order, whose
+    ≤ s out-neighbors must contain the remaining k − 1 vertices.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return float(n)
+    if k - 1 > s:
+        return 0.0
+    return float(n) * math.comb(s, k - 1)
+
+
+def hardness_profile(
+    graph: CSRGraph, k: Optional[int] = None
+) -> Dict[str, float]:
+    """Instance-hardness summary: all extremal envelopes at once."""
+    n = graph.num_vertices
+    s = degeneracy_order(graph).degeneracy if n else 0
+    profile: Dict[str, float] = {
+        "degeneracy": float(s),
+        "max_clique_size_bound": float(max_clique_size_bound(s)),
+        "wood_total_cliques": wood_total_clique_bound(n, s),
+        "eppstein_maximal_cliques": eppstein_maximal_clique_bound(n, s),
+    }
+    if k is not None:
+        profile[f"cliques_of_size_{k}"] = per_size_clique_bound(n, s, k)
+    return profile

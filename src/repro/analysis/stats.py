@@ -1,0 +1,107 @@
+"""Graph statistics — everything Table 2 reports, plus σ and ω.
+
+``graph_summary`` computes, for any graph: |V|, |E|, |T| (triangles),
+degeneracy s, the density ratios |E|/|V|, |T|/|V|, |T|/|E|, arboricity
+bounds (α ≤ s < 2α and the Nash-Williams density lower bound), the exact
+community degeneracy σ, and the clique number ω.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.bron_kerbosch import clique_number
+from ..graphs.csr import CSRGraph
+from ..graphs.digraph import orient_by_order
+from ..orders.community_order import community_degeneracy
+from ..orders.degeneracy import degeneracy_order
+from ..triangles.count import count_triangles
+
+__all__ = ["GraphSummary", "graph_summary", "arboricity_bounds"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One row of a Table-2-style dataset overview."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_triangles: int
+    degeneracy: int
+    edges_per_vertex: float
+    triangles_per_vertex: float
+    triangles_per_edge: float
+    arboricity_lower: int
+    arboricity_upper: int
+    community_degeneracy: Optional[int] = None
+    clique_number: Optional[int] = None
+
+    def row(self) -> str:
+        """Format as a Table-2 row."""
+        sigma = "-" if self.community_degeneracy is None else str(self.community_degeneracy)
+        omega = "-" if self.clique_number is None else str(self.clique_number)
+        return (
+            f"{self.name:<16} {self.num_vertices:>9} {self.num_edges:>10} "
+            f"{self.num_triangles:>10} {self.degeneracy:>4} "
+            f"{self.edges_per_vertex:>7.1f} {self.triangles_per_vertex:>7.1f} "
+            f"{self.triangles_per_edge:>6.1f} {sigma:>5} {omega:>5}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'Graph':<16} {'|V|':>9} {'|E|':>10} {'|T|':>10} {'s':>4} "
+            f"{'|E|/|V|':>7} {'|T|/|V|':>7} {'T/E':>6} {'sigma':>5} {'omega':>5}"
+        )
+
+
+def arboricity_bounds(graph: CSRGraph, degeneracy: Optional[int] = None):
+    """Bounds on the arboricity α: max(ceil(s/2)+?, NW density) ≤ α ≤ s.
+
+    Uses α ≤ s < 2α [Nash-Williams'61 via §1.1] — so ``ceil((s+1)/2) ≤ α ≤ s``
+    — combined with the Nash-Williams global density lower bound
+    ``α ≥ ceil(m / (n - 1))`` for any graph with ≥ 2 vertices.
+    """
+    s = degeneracy if degeneracy is not None else degeneracy_order(graph).degeneracy
+    n, m = graph.num_vertices, graph.num_edges
+    density_lb = int(np.ceil(m / (n - 1))) if n >= 2 and m > 0 else 0
+    lower = max((s + 1) // 2, density_lb, 1 if m > 0 else 0)
+    upper = max(s, lower)
+    return lower, upper
+
+
+def graph_summary(
+    graph: CSRGraph,
+    name: str = "graph",
+    with_sigma: bool = False,
+    with_omega: bool = False,
+) -> GraphSummary:
+    """Compute the dataset-overview statistics of ``graph``.
+
+    σ (exact community degeneracy) and ω (clique number) are optional
+    because they are the expensive entries.
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    s = degeneracy_order(graph).degeneracy if n else 0
+    dag = orient_by_order(graph, np.arange(n))
+    t = count_triangles(dag)
+    lo, hi = arboricity_bounds(graph, degeneracy=s)
+    return GraphSummary(
+        name=name,
+        num_vertices=n,
+        num_edges=m,
+        num_triangles=t,
+        degeneracy=s,
+        edges_per_vertex=m / n if n else 0.0,
+        triangles_per_vertex=t / n if n else 0.0,
+        triangles_per_edge=t / m if m else 0.0,
+        arboricity_lower=lo,
+        arboricity_upper=hi,
+        community_degeneracy=community_degeneracy(graph) if with_sigma else None,
+        clique_number=clique_number(graph) if with_omega else None,
+    )

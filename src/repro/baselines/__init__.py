@@ -1,0 +1,19 @@
+"""Baseline algorithms the paper compares against, plus test oracles."""
+
+from .arbcount import arbcount_count
+from .bron_kerbosch import clique_number, maximal_cliques, maximum_clique
+from .bruteforce import brute_force_count, brute_force_list
+from .chiba_nishizeki import chiba_nishizeki_count
+from .kclist import kclist_count, kclist_on_dag
+
+__all__ = [
+    "kclist_count",
+    "kclist_on_dag",
+    "arbcount_count",
+    "chiba_nishizeki_count",
+    "maximal_cliques",
+    "clique_number",
+    "maximum_clique",
+    "brute_force_count",
+    "brute_force_list",
+]

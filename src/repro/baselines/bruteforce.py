@@ -1,0 +1,49 @@
+"""Brute-force clique oracles for testing and tiny inputs.
+
+``itertools.combinations`` over vertex subsets with all-pairs edge probes.
+Exponential — use only on graphs small enough that the test suite can
+afford it (the test helpers cap input size defensively).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from ..graphs.csr import CSRGraph
+
+__all__ = ["brute_force_count", "brute_force_list"]
+
+_MAX_VERTICES = 64
+
+
+def _check_size(graph: CSRGraph) -> None:
+    if graph.num_vertices > _MAX_VERTICES:
+        raise ValueError(
+            f"brute force oracle is capped at {_MAX_VERTICES} vertices "
+            f"(got {graph.num_vertices}); use the real algorithms instead"
+        )
+
+
+def brute_force_list(graph: CSRGraph, k: int) -> List[Tuple[int, ...]]:
+    """All k-cliques as sorted tuples, by exhaustive enumeration."""
+    if k < 1:
+        raise ValueError(f"clique size must be >= 1, got {k}")
+    _check_size(graph)
+    n = graph.num_vertices
+    if k == 1:
+        return [(v,) for v in range(n)]
+    # Prune: only consider vertices of degree >= k-1.
+    eligible = [v for v in range(n) if graph.degree(v) >= k - 1]
+    out: List[Tuple[int, ...]] = []
+    for comb in itertools.combinations(eligible, k):
+        if all(
+            graph.has_edge(a, b) for a, b in itertools.combinations(comb, 2)
+        ):
+            out.append(comb)
+    return out
+
+
+def brute_force_count(graph: CSRGraph, k: int) -> int:
+    """Number of k-cliques, by exhaustive enumeration."""
+    return len(brute_force_list(graph, k))

@@ -1,0 +1,30 @@
+"""Benchmark harness: Table-2 stand-in datasets, the experiment runner,
+and figure/table renderers."""
+
+from .datasets import DATASETS, TABLE2_PAPER, dataset_names, load_dataset
+from .harness import ALGORITHMS, Measurement, run_experiment, sweep
+from .reporting import (
+    figure_series,
+    figure_sparklines,
+    format_table,
+    sparkline,
+    speedup_table,
+    to_csv,
+)
+
+__all__ = [
+    "DATASETS",
+    "TABLE2_PAPER",
+    "dataset_names",
+    "load_dataset",
+    "ALGORITHMS",
+    "Measurement",
+    "run_experiment",
+    "sweep",
+    "figure_series",
+    "speedup_table",
+    "to_csv",
+    "format_table",
+    "sparkline",
+    "figure_sparklines",
+]

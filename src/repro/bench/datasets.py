@@ -1,0 +1,149 @@
+"""The seven Table-2 dataset stand-ins (scaled synthetic equivalents).
+
+The paper evaluates on Orkut, Ca-DBLP-2012, Tech-As-Skitter, Gearbox,
+Chebyshev4, Jester2 and Bio-SC-HT (SNAP / NetworkRepository). Those files
+are unavailable offline and too large for a pure-Python harness, so each
+dataset is replaced by a deterministic synthetic graph at ~1/100 scale
+chosen to match the *shape* statistics that drive the algorithms'
+relative behaviour: the |E|/|V| density column, the |T|/|E|
+triangles-per-edge column (the paper's explanation for where c3List wins:
+"relatively better when there are few triangles per vertex"), and the
+broad degeneracy regime.
+
+Every stand-in additionally has a few 11–13-cliques planted so the k =
+6..10 sweep of Figures 7–9 exercises non-trivial counts at every k, as
+the real datasets do. ``TABLE2_PAPER`` records the original statistics
+for side-by-side reporting in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from ..graphs.csr import CSRGraph
+from ..graphs.generators import (
+    banded_graph,
+    collaboration_graph,
+    core_periphery_graph,
+    mesh_graph_3d,
+    plant_cliques,
+    powerlaw_cluster_graph,
+    relaxed_caveman_graph,
+)
+
+__all__ = ["DATASETS", "load_dataset", "dataset_names", "TABLE2_PAPER"]
+
+# name -> (|V|, |E|, |T|, s, E/V, T/V, T/E) as printed in Table 2.
+TABLE2_PAPER: Dict[str, Tuple[str, str, str, int, float, float, float]] = {
+    "orkut": ("3.1M", "117.2M", "627.6M", 253, 38.1, 204.6, 5.4),
+    "ca-dblp-2012": ("317K", "1M", "2.2M", 113, 3.3, 7.0, 2.1),
+    "tech-as-skitter": ("1.7M", "11.1M", "28.8M", 111, 6.5, 17.0, 2.6),
+    "gearbox": ("153.7K", "4.5M", "4.6M", 44, 29.0, 30.0, 1.0),
+    "chebyshev4": ("68K", "1.9M", "28.9M", 68, 28.9, 424.2, 14.7),
+    "jester2": ("50.1K", "1.7M", "35.6M", 128, 34.1, 703.3, 20.6),
+    "bio-sc-ht": ("2084", "63K", "1.4M", 100, 30.2, 670.7, 22.2),
+}
+
+
+def _with_planted(graph: CSRGraph, sizes: List[int], seed: int) -> CSRGraph:
+    planted, _ = plant_cliques(graph, sizes, seed=seed, disjoint=True)
+    return planted
+
+
+def _sz(base: int, scale: float) -> int:
+    """Scale a size parameter, keeping at least a workable minimum."""
+    return max(int(round(base * scale)), 32)
+
+
+@lru_cache(maxsize=None)
+def _orkut(scale: float = 1.0) -> CSRGraph:
+    # Large social network: heavy-tailed degrees, strong triadic closure,
+    # moderate T/E. Densest of the social stand-ins.
+    g = powerlaw_cluster_graph(_sz(1200, scale), 12, 0.65, seed=101)
+    return _with_planted(g, [13, 12, 11], seed=1101)
+
+
+@lru_cache(maxsize=None)
+def _ca_dblp(scale: float = 1.0) -> CSRGraph:
+    # Collaboration network: union of paper-author cliques, low E/V.
+    g = collaboration_graph(
+        _sz(1400, scale), _sz(900, scale), max_group=9, zipf_a=2.0, seed=102
+    )
+    return _with_planted(g, [12, 11, 11], seed=1102)
+
+
+@lru_cache(maxsize=None)
+def _skitter(scale: float = 1.0) -> CSRGraph:
+    # Internet topology: preferential attachment, weak closure, low T/E.
+    g = powerlaw_cluster_graph(_sz(2000, scale), 5, 0.12, seed=103)
+    return _with_planted(g, [12, 11, 11], seed=1103)
+
+
+@lru_cache(maxsize=None)
+def _gearbox(scale: float = 1.0) -> CSRGraph:
+    # Finite-element structural mesh: T/E ~ 1, low degeneracy.
+    side = max(int(round(12 * scale ** (1 / 3))), 4)
+    g = mesh_graph_3d(side, side, max(side - 5, 3), diagonals=True)
+    return _with_planted(g, [12, 11, 11], seed=1104)
+
+
+@lru_cache(maxsize=None)
+def _chebyshev4(scale: float = 1.0) -> CSRGraph:
+    # Banded spectral-scheme matrix: window cliques, high T/V and T/E.
+    g = banded_graph(_sz(500, scale), 10)
+    return _with_planted(g, [13, 12], seed=1105)
+
+
+@lru_cache(maxsize=None)
+def _jester2(scale: float = 1.0) -> CSRGraph:
+    # Rating network: small dense core + large sparse periphery;
+    # extreme T/V concentration in the core.
+    g = core_periphery_graph(
+        max(int(round(50 * min(scale, 2.0))), 30),
+        _sz(700, scale),
+        p_core=0.6,
+        attach=3,
+        seed=106,
+    )
+    return _with_planted(g, [13, 12, 11], seed=1106)
+
+
+@lru_cache(maxsize=None)
+def _bio_sc_ht(scale: float = 1.0) -> CSRGraph:
+    # Gene-association network: overlapping dense modules on few vertices.
+    g = relaxed_caveman_graph(max(int(round(28 * scale)), 4), 12, 0.12, seed=107)
+    return _with_planted(g, [13], seed=1107)
+
+
+DATASETS: Dict[str, Callable[..., CSRGraph]] = {
+    "orkut": _orkut,
+    "ca-dblp-2012": _ca_dblp,
+    "tech-as-skitter": _skitter,
+    "gearbox": _gearbox,
+    "chebyshev4": _chebyshev4,
+    "jester2": _jester2,
+    "bio-sc-ht": _bio_sc_ht,
+}
+
+
+def dataset_names() -> List[str]:
+    """Names of the seven Table-2 stand-ins, in the paper's order."""
+    return list(DATASETS.keys())
+
+
+def load_dataset(name: str, scale: float = 1.0) -> CSRGraph:
+    """Load (and memoize) one stand-in dataset by its Table-2 name.
+
+    ``scale`` multiplies the instance size (default 1.0 — the sizes used
+    by the figures); the size-scaling bench sweeps it to validate the
+    bounds' m-dependence.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    try:
+        return DATASETS[name](scale)
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None

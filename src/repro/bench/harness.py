@@ -1,0 +1,146 @@
+"""Experiment runner: timed, repeated, instrumented algorithm executions.
+
+One :func:`run_experiment` call measures a single (algorithm, graph, k)
+cell the way the paper's §B.2 protocol does — repeated runs, arithmetic
+mean (they use ≥ 10 repetitions; our default is lower because pure Python
+is ~100× slower per op) — and records, alongside wall time, the tracked
+PRAM work/depth and the Brent-simulated 72-thread runtime that the
+figures report.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..baselines.arbcount import arbcount_count
+from ..baselines.chiba_nishizeki import chiba_nishizeki_count
+from ..baselines.kclist import kclist_count
+from ..core.variants import run_variant
+from ..graphs.csr import CSRGraph
+from ..pram.cost import Cost
+from ..pram.schedule import simulate_loop
+from ..pram.tracker import Tracker
+
+__all__ = ["Measurement", "run_experiment", "ALGORITHMS", "sweep"]
+
+# The three contenders of Figures 7-9, by their names in the plots,
+# plus the remaining variants for the ablations.
+ALGORITHMS: Dict[str, Callable] = {
+    "c3list": lambda g, k, tr: run_variant(g, k, "best-work", tr),
+    "c3list-approx": lambda g, k, tr: run_variant(g, k, "best-depth", tr),
+    "c3list-hybrid": lambda g, k, tr: run_variant(g, k, "hybrid", tr),
+    "c3list-cd": lambda g, k, tr: run_variant(g, k, "cd-best-work", tr),
+    "c3list-cd-approx": lambda g, k, tr: run_variant(g, k, "cd-best-depth", tr),
+    "kclist": lambda g, k, tr: kclist_count(g, k, tracker=tr),
+    "arbcount": lambda g, k, tr: arbcount_count(g, k, tracker=tr),
+    "chiba-nishizeki": lambda g, k, tr: chiba_nishizeki_count(g, k, tracker=tr),
+}
+
+
+@dataclass
+class Measurement:
+    """One measured cell of a figure/table."""
+
+    algorithm: str
+    k: int
+    count: int
+    wall_mean: float
+    wall_std: float
+    work: float
+    depth: float
+    t72: float  # Brent-simulated runtime on 72 processors
+    t72_sched: float  # greedy-schedule simulation of the outer loop
+    repeats: int
+    graph: str = ""
+    search_work: float = 0.0  # work of the search phase only (no preprocessing)
+
+    def simulated_time(self, p: int) -> float:
+        return self.work / p + self.depth
+
+
+def run_experiment(
+    graph: CSRGraph,
+    k: int,
+    algorithm: str,
+    repeats: int = 3,
+    graph_name: str = "",
+    p: int = 72,
+) -> Measurement:
+    """Measure one (graph, k, algorithm) cell.
+
+    Wall time is averaged over ``repeats`` runs (first run also collects
+    the instrumented cost; counts are asserted identical across repeats).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        )
+    if repeats < 1:
+        raise ValueError("need at least one repetition")
+    fn = ALGORITHMS[algorithm]
+
+    times: List[float] = []
+    count: Optional[int] = None
+    work = depth = t72 = t72_sched = search_work = 0.0
+    for rep in range(repeats):
+        tracker = Tracker()
+        start = time.perf_counter()
+        result = fn(graph, k, tracker)
+        times.append(time.perf_counter() - start)
+        if count is None:
+            count = result.count
+            work = tracker.work
+            depth = tracker.depth
+            search_phase = tracker.phases.get("search")
+            search_work = search_phase.work if search_phase is not None else work
+            t72 = tracker.total.time_on(p)
+            # Serial prefix of the loop simulation = everything charged
+            # outside the recorded per-edge/per-vertex tasks.
+            log = result.task_log
+            loop_work = sum(t.work for t in log.tasks)
+            loop_depth = max((t.depth for t in log.tasks), default=0.0)
+            log.serial_prefix = Cost(
+                max(work - loop_work, 0.0), max(depth - loop_depth, 0.0)
+            )
+            t72_sched = simulate_loop(log, p)
+        elif result.count != count:
+            raise AssertionError(
+                f"non-deterministic count for {algorithm} (k={k}): "
+                f"{result.count} != {count}"
+            )
+    return Measurement(
+        algorithm=algorithm,
+        k=k,
+        count=int(count or 0),
+        wall_mean=statistics.fmean(times),
+        wall_std=statistics.stdev(times) if len(times) > 1 else 0.0,
+        work=work,
+        depth=depth,
+        t72=t72,
+        t72_sched=t72_sched,
+        repeats=repeats,
+        graph=graph_name,
+        search_work=search_work,
+    )
+
+
+def sweep(
+    graph: CSRGraph,
+    ks: List[int],
+    algorithms: List[str],
+    repeats: int = 3,
+    graph_name: str = "",
+) -> List[Measurement]:
+    """Run the Figures-7/8/9 sweep: each algorithm at each clique size."""
+    out: List[Measurement] = []
+    for k in ks:
+        for algo in algorithms:
+            out.append(
+                run_experiment(
+                    graph, k, algo, repeats=repeats, graph_name=graph_name
+                )
+            )
+    return out

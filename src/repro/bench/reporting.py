@@ -1,0 +1,157 @@
+"""Figure/table renderers: ASCII tables and CSV series.
+
+The paper's figures plot runtime against clique size per graph for the
+three algorithms. :func:`figure_series` prints exactly that shape (one
+row per k, one column per algorithm), for wall time and for the
+simulated-72-thread time; :func:`speedup_table` summarizes who wins by
+how much — the quantities §B.3 discusses in prose.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .harness import Measurement
+
+__all__ = [
+    "figure_series",
+    "speedup_table",
+    "to_csv",
+    "format_table",
+    "sparkline",
+    "figure_sparklines",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Minimal fixed-width ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    lines.extend(fmt.format(*row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cells(measurements: List[Measurement]):
+    by_key: Dict[tuple, Measurement] = {}
+    ks = sorted({m.k for m in measurements})
+    algos = sorted({m.algorithm for m in measurements})
+    for m in measurements:
+        by_key[(m.k, m.algorithm)] = m
+    return ks, algos, by_key
+
+
+def figure_series(
+    measurements: List[Measurement],
+    metric: str = "wall_mean",
+    title: Optional[str] = None,
+) -> str:
+    """Render a Figures-7/8/9-style series: rows = k, columns = algorithm.
+
+    ``metric`` is any numeric :class:`Measurement` attribute
+    (``wall_mean``, ``work``, ``t72``, ``t72_sched``, ``count`` …).
+    """
+    ks, algos, by_key = _cells(measurements)
+    rows = []
+    for k in ks:
+        row: List[object] = [k]
+        for a in algos:
+            m = by_key.get((k, a))
+            if m is None:
+                row.append("-")
+            else:
+                value = getattr(m, metric)
+                row.append(f"{value:.4g}" if isinstance(value, float) else value)
+        rows.append(row)
+    table = format_table(["k"] + algos, rows)
+    if title:
+        table = f"== {title} ({metric}) ==\n" + table
+    return table
+
+
+def speedup_table(
+    measurements: List[Measurement],
+    baseline: str,
+    contender: str,
+    metric: str = "wall_mean",
+) -> str:
+    """Per-k ratio baseline/contender (>1 means the contender wins)."""
+    ks, _, by_key = _cells(measurements)
+    rows = []
+    for k in ks:
+        b = by_key.get((k, baseline))
+        c = by_key.get((k, contender))
+        if b is None or c is None:
+            continue
+        bv, cv = getattr(b, metric), getattr(c, metric)
+        ratio = bv / cv if cv else float("inf")
+        rows.append([k, f"{bv:.4g}", f"{cv:.4g}", f"{ratio:.3f}"])
+    return format_table(["k", baseline, contender, f"{baseline}/{contender}"], rows)
+
+
+def to_csv(measurements: List[Measurement]) -> str:
+    """Serialize measurements as CSV (one row per cell)."""
+    buf = io.StringIO()
+    cols = [
+        "graph",
+        "algorithm",
+        "k",
+        "count",
+        "wall_mean",
+        "wall_std",
+        "work",
+        "depth",
+        "t72",
+        "t72_sched",
+        "search_work",
+        "repeats",
+    ]
+    buf.write(",".join(cols) + "\n")
+    for m in measurements:
+        buf.write(",".join(str(getattr(m, c)) for c in cols) + "\n")
+    return buf.getvalue()
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Render a numeric series as a unicode sparkline (log-friendly plots).
+
+    Values are min-max scaled into eight block heights; empty input
+    renders as the empty string. Used by the figure report to give the runtime-vs-k
+    curves of Figures 7-9 a visual shape in plain text.
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo = min(vals)
+    hi = max(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        if span <= 0:
+            out.append(blocks[4])
+        else:
+            idx = int(round((v - lo) / span * (len(blocks) - 1)))
+            out.append(blocks[max(0, min(idx, len(blocks) - 1))])
+    return "".join(out)
+
+
+def figure_sparklines(
+    measurements: List[Measurement], metric: str = "wall_mean"
+) -> str:
+    """One sparkline per algorithm over increasing k (Figures 7-9 shape)."""
+    ks, algos, by_key = _cells(measurements)
+    rows = []
+    for a in algos:
+        series = [
+            getattr(by_key[(k, a)], metric) for k in ks if (k, a) in by_key
+        ]
+        rows.append([a, sparkline(series), f"{min(series):.3g}", f"{max(series):.3g}"])
+    return format_table(["algorithm", f"{metric} vs k", "min", "max"], rows)

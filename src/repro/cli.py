@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``stats <graph>`` — Table-2-style statistics of a graph file;
+* ``count <graph> -k K [--variant V]`` — count k-cliques;
+* ``list <graph> -k K [--limit N]`` — list k-cliques;
+* ``spectrum <graph>`` — clique counts for every size;
+* ``datasets`` — show the built-in Table-2 stand-ins;
+* ``bench <dataset> -k K`` — one figure cell (3 algorithms) on a stand-in;
+* ``selfcheck`` — fuzz every engine against each other + the oracle.
+
+Graph files may be edge lists (``.txt``/``.edges``, SNAP format), Matrix
+Market (``.mtx``) or this library's ``.npz``. A built-in dataset name
+(e.g. ``chebyshev4``) is accepted anywhere a graph path is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.stats import GraphSummary, graph_summary
+from .bench.datasets import DATASETS, load_dataset
+from .bench.harness import run_experiment
+from .bench.reporting import format_table
+from .core.api import VARIANTS, count_cliques, list_cliques
+from .core.existence import clique_spectrum
+from .graphs.csr import CSRGraph
+from .graphs.io import load_npz, read_edge_list, read_mtx
+from .pram.tracker import Tracker
+
+__all__ = ["main"]
+
+
+def _load_graph(spec: str) -> CSRGraph:
+    if spec in DATASETS:
+        return load_dataset(spec)
+    if spec.endswith(".npz"):
+        return load_npz(spec)
+    if spec.endswith(".mtx"):
+        return read_mtx(spec)
+    return read_edge_list(spec)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph)
+    summary = graph_summary(
+        g, args.graph, with_sigma=args.sigma, with_omega=args.omega
+    )
+    print(GraphSummary.header())
+    print(summary.row())
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph)
+    tracker = Tracker()
+    result = count_cliques(
+        g, args.k, variant=args.variant, eps=args.eps, tracker=tracker
+    )
+    print(f"{args.k}-cliques: {result.count}")
+    if args.cost:
+        print(f"work  = {tracker.work:.6g}")
+        print(f"depth = {tracker.depth:.6g}")
+        print(f"T_72  = {result.simulated_time(72):.6g}")
+        for phase, cost in tracker.phases.items():
+            print(f"  phase {phase}: work={cost.work:.4g} depth={cost.depth:.4g}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph)
+    cliques = list_cliques(g, args.k, variant=args.variant)
+    shown = cliques if args.limit is None else cliques[: args.limit]
+    for c in shown:
+        print(" ".join(str(v) for v in c))
+    if args.limit is not None and len(cliques) > args.limit:
+        print(
+            f"... ({len(cliques) - args.limit} more)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph)
+    spectrum = clique_spectrum(g, k_max=args.k_max)
+    print(
+        format_table(
+            ["k", "#cliques"], [[k, c] for k, c in sorted(spectrum.items())]
+        )
+    )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in DATASETS:
+        g = load_dataset(name)
+        rows.append([name, g.num_vertices, g.num_edges])
+    print(format_table(["dataset", "|V|", "|E|"], rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph)
+    rows = []
+    for algo in ("c3list", "kclist", "arbcount"):
+        m = run_experiment(g, args.k, algo, repeats=args.repeats, graph_name=args.graph)
+        rows.append(
+            [
+                algo,
+                m.count,
+                f"{m.wall_mean:.4f}s",
+                f"{m.work:.4g}",
+                f"{m.search_work:.4g}",
+                f"{m.t72:.4g}",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "count", "wall", "work", "search work", "T_72"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .validation import self_check
+
+    report = self_check(
+        trials=args.trials, seed=args.seed, verbose=args.verbose
+    )
+    print(report.summary())
+    return 0 if report.ok else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Community-centric parallel k-clique listing (SPAA'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="Table-2-style statistics of a graph")
+    p.add_argument("graph", help="graph file or built-in dataset name")
+    p.add_argument("--sigma", action="store_true", help="also compute the community degeneracy")
+    p.add_argument("--omega", action="store_true", help="also compute the clique number")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("count", help="count k-cliques")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, required=True, help="clique size")
+    p.add_argument("--variant", choices=VARIANTS, default="best-work")
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--cost", action="store_true", help="print work/depth breakdown")
+    p.set_defaults(func=_cmd_count)
+
+    p = sub.add_parser("list", help="list k-cliques (one per line)")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument("--variant", choices=VARIANTS, default="best-work")
+    p.add_argument("--limit", type=int, default=None, help="print at most N cliques")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("spectrum", help="clique counts for every size")
+    p.add_argument("graph")
+    p.add_argument("--k-max", type=int, default=None)
+    p.set_defaults(func=_cmd_spectrum)
+
+    p = sub.add_parser("datasets", help="show the built-in Table-2 stand-ins")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("bench", help="one figure cell: 3 algorithms on a graph")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument("--repeats", type=int, default=1)
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("selfcheck", help="cross-validate all engines on random graphs")
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_selfcheck)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

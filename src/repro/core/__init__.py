@@ -1,0 +1,44 @@
+"""The paper's primary contribution: community-centric k-clique listing."""
+
+from .api import VARIANTS, count_cliques, has_clique, list_cliques
+from .clique_listing import CliqueSearchResult, count_cliques_on_dag
+from .community_variant import count_cliques_community_order
+from .densest import (
+    DensestResult,
+    kclique_densest_subgraph,
+    per_vertex_clique_counts,
+)
+from .existence import clique_spectrum, find_clique, max_clique_size
+from .fast import fast_count_cliques
+from .motifs import count_cliques_triangle_growing
+from .parallel import count_cliques_parallel
+from .peeling import PeelResult, kclique_peel
+from .sampling import CliqueEstimate, estimate_clique_count
+from .recursive import SearchStats, recursive_count
+from .variants import run_variant
+
+__all__ = [
+    "count_cliques",
+    "list_cliques",
+    "has_clique",
+    "VARIANTS",
+    "CliqueSearchResult",
+    "count_cliques_on_dag",
+    "count_cliques_community_order",
+    "recursive_count",
+    "SearchStats",
+    "run_variant",
+    "find_clique",
+    "max_clique_size",
+    "clique_spectrum",
+    "count_cliques_triangle_growing",
+    "count_cliques_parallel",
+    "per_vertex_clique_counts",
+    "kclique_densest_subgraph",
+    "DensestResult",
+    "fast_count_cliques",
+    "kclique_peel",
+    "PeelResult",
+    "estimate_clique_count",
+    "CliqueEstimate",
+]

@@ -1,0 +1,81 @@
+"""Public façade of the library.
+
+>>> from repro import count_cliques
+>>> from repro.graphs import clique_chain
+>>> g = clique_chain(3, 6)
+>>> count_cliques(g, 4).count
+45
+
+All entry points accept any of the six Table-1 variants (see
+:data:`repro.core.variants.VARIANTS`) and return a
+:class:`~repro.core.clique_listing.CliqueSearchResult` carrying the count,
+the listed cliques (when requested), the tracked PRAM work/depth, the
+per-phase breakdown, and the per-edge task log used for simulated
+parallel scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..graphs.csr import CSRGraph
+from ..pram.tracker import Tracker
+from .clique_listing import CliqueSearchResult
+from .variants import VARIANTS, run_variant
+
+__all__ = ["count_cliques", "list_cliques", "has_clique", "VARIANTS"]
+
+
+def count_cliques(
+    graph: CSRGraph,
+    k: int,
+    variant: str = "best-work",
+    eps: float = 0.5,
+    tracker: Optional[Tracker] = None,
+    prune: bool = True,
+) -> CliqueSearchResult:
+    """Count all k-cliques of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The undirected input graph.
+    k:
+        Clique size (k ≥ 1; the interesting regime of the paper is k ≥ 4).
+    variant:
+        One of the six Table-1 configurations (default: the best-work
+        exact-degeneracy-order variant, the one used in the paper's
+        experimental evaluation).
+    eps:
+        Approximation parameter of the approximate orders.
+    tracker:
+        Pass an enabled :class:`Tracker` to retrieve work/depth; a fresh
+        one is created by default.
+    prune:
+        Disable the relevant-pair criterion with ``False`` (ablation).
+    """
+    tracker = tracker if tracker is not None else Tracker()
+    return run_variant(
+        graph, k, variant, tracker, eps=eps, collect=False, prune=prune
+    )
+
+
+def list_cliques(
+    graph: CSRGraph,
+    k: int,
+    variant: str = "best-work",
+    eps: float = 0.5,
+    tracker: Optional[Tracker] = None,
+) -> List[Tuple[int, ...]]:
+    """List all k-cliques as sorted vertex tuples (each exactly once)."""
+    tracker = tracker if tracker is not None else Tracker()
+    result = run_variant(graph, k, variant, tracker, eps=eps, collect=True)
+    assert result.cliques is not None
+    return result.cliques
+
+
+def has_clique(
+    graph: CSRGraph, k: int, variant: str = "best-work", eps: float = 0.5
+) -> bool:
+    """Whether the graph contains at least one k-clique."""
+    return count_cliques(graph, k, variant=variant, eps=eps).count > 0

@@ -1,0 +1,163 @@
+"""Algorithm 3 — clique listing parameterized by community degeneracy.
+
+In addition to the vertex order (which only guarantees unique reporting
+inside each subproblem and may be arbitrary — we use vertex id), a total
+order on the *edges* shrinks the candidate sets: the candidate set of an
+edge ``e`` is its community within the subgraph of the edges ordered
+after ``e``, whose size the edge order bounds by σ (exact greedy order)
+or (3+ε)σ (Algorithm 4).
+
+Crucially, the *entire* search for edge ``e`` — candidate membership,
+edge probes, communities — happens in the subgraph ``(V, E[e ≤])`` of
+edges ordered at or after ``e``. A k-clique is then counted at edge ``e``
+exactly when every one of its edges is ordered at or after ``e`` and
+``e`` belongs to the clique — i.e. exactly when ``e`` is the clique's
+lowest-ordered edge, which is unique. (Probing the full graph instead
+would double-count cliques whose locally-minimal edges differ.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.builder import from_edges
+from ..graphs.csr import CSRGraph
+from ..graphs.digraph import orient_by_order
+from ..orders.community_order import (
+    EdgeOrderResult,
+    candidate_sets_from_rank,
+    undirected_edge_ids,
+    undirected_triangles,
+)
+from ..pram.cost import Cost
+from ..pram.primitives import log2p1
+from ..pram.schedule import TaskLog
+from ..pram.tracker import Tracker
+from .clique_listing import CliqueSearchResult, count_cliques_on_dag
+from .recursive import SearchStats
+
+__all__ = ["count_cliques_community_order", "restricted_candidate_subgraph"]
+
+
+def restricted_candidate_subgraph(
+    graph: CSRGraph,
+    members: np.ndarray,
+    edge_rank: np.ndarray,
+    codes: np.ndarray,
+    min_rank: int,
+) -> CSRGraph:
+    """Induced subgraph on ``members`` keeping only edges ranked ≥ min_rank.
+
+    ``members`` must be sorted unique original vertex ids; ``codes`` is the
+    packed-key array of :func:`undirected_edge_ids` used to look up the
+    rank of each surviving edge. The result is relabeled to
+    ``0..len(members)-1`` (position in ``members``).
+    """
+    n = graph.num_vertices
+    nv = int(members.size)
+    rows: List[Tuple[int, int]] = []
+    for i in range(nv):
+        u = int(members[i])
+        nbrs = np.intersect1d(graph.neighbors(u), members[i + 1 :], assume_unique=True)
+        if nbrs.size == 0:
+            continue
+        eids = np.searchsorted(codes, np.int64(u) * n + nbrs.astype(np.int64))
+        keep = edge_rank[eids] >= min_rank
+        for v in nbrs[keep]:
+            rows.append((i, int(np.searchsorted(members, v))))
+    edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, num_vertices=nv)
+
+
+def count_cliques_community_order(
+    graph: CSRGraph,
+    k: int,
+    edge_order: EdgeOrderResult,
+    tracker: Tracker,
+    collect: bool = False,
+    inner_order: str = "id",
+) -> CliqueSearchResult:
+    """Run Algorithm 3 with a precomputed edge order.
+
+    ``k`` must be ≥ 4 (smaller sizes don't involve the edge order; use
+    Algorithm 1 / the public API for those). For each edge ``e`` in
+    parallel, the (k−2)-clique search runs on the candidate subgraph
+    restricted to edges ordered after ``e``. ``inner_order`` selects the
+    vertex order of the per-edge subproblem: ``"id"`` (arbitrary, per
+    §4.3) or ``"degeneracy"`` (the §4.2-style hybrid).
+    """
+    if k < 4:
+        raise ValueError("Algorithm 3 requires k >= 4")
+    m = graph.num_edges
+    if edge_order.edge_rank.size != m:
+        raise ValueError("edge order size does not match the graph")
+    if inner_order not in ("id", "degeneracy"):
+        raise ValueError(f"unknown inner order {inner_order!r}")
+
+    stats = SearchStats()
+    task_log = TaskLog()
+    cliques: Optional[List[Tuple[int, ...]]] = [] if collect else None
+
+    with tracker.phase("communities"):
+        tri, tri_eids = undirected_triangles(graph, tracker=tracker)
+        indptr, members_all = candidate_sets_from_rank(
+            graph, edge_order.edge_rank, tri=tri, tri_eids=tri_eids, tracker=tracker
+        )
+
+    sizes = np.diff(indptr)
+    gamma = int(sizes.max()) if sizes.size else 0
+    eligible = np.flatnonzero(sizes >= (k - 2))
+    tracker.charge(Cost(m, log2p1(m) + 1))
+
+    us, vs, codes = undirected_edge_ids(graph)
+    edge_rank = edge_order.edge_rank
+
+    total = 0
+    with tracker.phase("search"):
+        with tracker.parallel() as region:
+            for eid in eligible.tolist():
+                cand = np.sort(members_all[indptr[eid] : indptr[eid + 1]])
+                cand = cand.astype(np.int32)
+                r = int(edge_rank[eid])
+                sub = restricted_candidate_subgraph(
+                    graph, cand, edge_rank, codes, r
+                )
+                # Build cost: the paper's O(γ²) per-edge preprocessing.
+                build_cost = Cost(float(cand.size) ** 2 + cand.size + 1, log2p1(cand.size) + 1)
+
+                sub_tracker = Tracker()
+                if inner_order == "degeneracy":
+                    from ..orders.degeneracy import degeneracy_order
+
+                    order = degeneracy_order(sub, tracker=sub_tracker).order
+                else:
+                    order = np.arange(sub.num_vertices)
+                dag = orient_by_order(sub, order, tracker=sub_tracker)
+                res = count_cliques_on_dag(
+                    dag, k - 2, sub_tracker, collect=collect
+                )
+                total += res.count
+                if collect and res.cliques is not None:
+                    extra = (int(us[eid]), int(vs[eid]))
+                    for cl in res.cliques:
+                        cliques.append(
+                            tuple(sorted(extra + tuple(int(cand[x]) for x in cl)))
+                        )
+                task_cost = build_cost + sub_tracker.total
+                region.add_task_cost(task_cost)
+                task_log.add(task_cost)
+                stats.merge(res.stats)
+
+    return CliqueSearchResult(
+        k=k,
+        count=total,
+        cost=tracker.total,
+        stats=stats,
+        task_log=task_log,
+        phases=tracker.phases,
+        gamma=gamma,
+        max_out_degree=0,
+        cliques=cliques,
+    )

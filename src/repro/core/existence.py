@@ -1,0 +1,173 @@
+"""Decision queries: k-clique existence, maximum clique size, spectrum.
+
+The listing engines enumerate everything; the decision problem ("is there
+a k-clique?") admits an early-exit search with the same pruning. This
+module provides:
+
+* :func:`find_clique` — return one k-clique or ``None``, abandoning the
+  search at the first witness (worst case matches the counting bound, but
+  typical instances exit after a tiny fraction of the work);
+* :func:`max_clique_size` — the clique number ω computed by scanning k
+  downward from the degeneracy bound ω ≤ s + 1 (§1.1);
+* :func:`clique_spectrum` — counts for every k in one pass over a shared
+  preprocessing (orientation + communities built once).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.digraph import OrientedDAG, orient_by_order
+from ..orders.degeneracy import degeneracy_order
+from ..pram.tracker import NULL_TRACKER, Tracker
+from ..triangles.communities import EdgeCommunities, build_communities
+from .clique_listing import count_cliques_on_dag
+
+__all__ = ["find_clique", "max_clique_size", "clique_spectrum"]
+
+
+class _Found(Exception):
+    """Internal control flow: a witness clique was found."""
+
+    def __init__(self, vertices: List[int]):
+        self.vertices = vertices
+
+
+def _search_one(
+    dag: OrientedDAG,
+    comms: EdgeCommunities,
+    candidates: np.ndarray,
+    c: int,
+    prefix: List[int],
+) -> None:
+    """Depth-first early-exit variant of Algorithm 2 (raises _Found)."""
+    if c == 1:
+        if candidates.size:
+            raise _Found(prefix + [int(candidates[0])])
+        return
+    if c == 2:
+        for i in range(candidates.size - 1):
+            u = int(candidates[i])
+            hits = np.intersect1d(
+                dag.out_neighbors(u), candidates[i + 1 :], assume_unique=True
+            )
+            if hits.size:
+                raise _Found(prefix + [u, int(hits[0])])
+        return
+    gap = c - 1
+    for i in range(candidates.size - gap):
+        u = int(candidates[i])
+        targets = candidates[i + gap :]
+        hits = np.intersect1d(dag.out_neighbors(u), targets, assume_unique=True)
+        for v in hits.tolist():
+            eid = dag.edge_id(u, v)
+            sub = np.intersect1d(candidates, comms.of(eid), assume_unique=True)
+            if sub.size >= c - 2:
+                _search_one(dag, comms, sub, c - 2, prefix + [u, v])
+
+
+def find_clique(
+    graph: CSRGraph, k: int, tracker: Tracker = NULL_TRACKER
+) -> Optional[Tuple[int, ...]]:
+    """Return one k-clique (sorted original vertex ids) or ``None``.
+
+    Uses the exact degeneracy orientation and exits at the first witness.
+    """
+    if k < 1:
+        raise ValueError(f"clique size must be >= 1, got {k}")
+    n = graph.num_vertices
+    if k == 1:
+        return (0,) if n else None
+    if k == 2:
+        us, vs = graph.edge_array()
+        return (int(us[0]), int(vs[0])) if us.size else None
+
+    res = degeneracy_order(graph, tracker=tracker)
+    if k > res.degeneracy + 1:
+        return None  # an s-degenerate graph has no (s+2)-clique (§1.1)
+    dag = orient_by_order(graph, res.order, tracker=tracker)
+    comms = build_communities(dag, tracker=tracker)
+    orig = dag.original_ids
+
+    if k == 3:
+        sizes = comms.sizes
+        hit = np.flatnonzero(sizes > 0)
+        if hit.size == 0:
+            return None
+        eid = int(hit[0])
+        us, vs = dag.edge_endpoints()
+        w = int(comms.of(eid)[0])
+        return tuple(sorted((int(orig[us[eid]]), int(orig[w]), int(orig[vs[eid]]))))
+
+    eligible = np.flatnonzero(comms.sizes >= k - 2)
+    us, vs = dag.edge_endpoints()
+    try:
+        for eid in eligible.tolist():
+            _search_one(
+                dag,
+                comms,
+                comms.of(eid),
+                k - 2,
+                [int(us[eid]), int(vs[eid])],
+            )
+    except _Found as found:
+        return tuple(sorted(int(orig[v]) for v in found.vertices))
+    return None
+
+
+def max_clique_size(graph: CSRGraph, tracker: Tracker = NULL_TRACKER) -> int:
+    """The clique number ω, via early-exit searches from s+1 downward.
+
+    An s-degenerate graph has ω ≤ s + 1, so at most s − 1 existence
+    queries are needed; each query reuses the same pruned search.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    if graph.num_edges == 0:
+        return 1
+    s = degeneracy_order(graph, tracker=tracker).degeneracy
+    for k in range(s + 1, 2, -1):
+        if find_clique(graph, k, tracker=tracker) is not None:
+            return k
+    return 2  # there is at least one edge
+
+
+def clique_spectrum(
+    graph: CSRGraph,
+    k_max: Optional[int] = None,
+    tracker: Tracker = NULL_TRACKER,
+) -> Dict[int, int]:
+    """Counts of k-cliques for every k from 1 to ``k_max`` (default ω bound).
+
+    Orientation and communities are built once and shared across all k,
+    which is how a user profiles a graph's "clique spectrum" (the intro's
+    motif-statistics use case) without paying preprocessing per size.
+    """
+    n = graph.num_vertices
+    res = degeneracy_order(graph, tracker=tracker)
+    bound = res.degeneracy + 1 if graph.num_edges else 1
+    top = bound if k_max is None else min(k_max, bound)
+    spectrum: Dict[int, int] = {}
+    if n == 0:
+        return spectrum
+    dag = orient_by_order(graph, res.order, tracker=tracker)
+    comms = build_communities(dag, tracker=tracker)
+    for k in range(1, max(top, 1) + 1):
+        sub_tracker = Tracker() if tracker.enabled else NULL_TRACKER
+        result = count_cliques_on_dag(dag, k, sub_tracker, comms=comms)
+        if tracker.enabled:
+            tracker.charge(sub_tracker.total)
+        spectrum[k] = result.count
+        if result.count == 0 and k >= 2:
+            # No k-clique implies no larger clique; fill zeros and stop.
+            for kk in range(k + 1, max(top, 1) + 1):
+                spectrum[kk] = 0
+            break
+    if k_max is not None:
+        for kk in range(top + 1, k_max + 1):
+            spectrum[kk] = 0
+    return spectrum

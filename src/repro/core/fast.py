@@ -1,0 +1,92 @@
+"""Bitset-accelerated counting engine.
+
+The reference engine (:mod:`repro.core.recursive`) mirrors the paper's
+pseudocode with sorted-array intersections — ideal for instrumentation,
+slow in CPython for dense communities. This engine is the "production
+kernel" a real release ships next to it: per top-level community it
+renames the candidates to ``0..u-1`` (u ≤ γ), builds a
+:class:`~repro.graphs.bitset.BitMatrix`, and runs the same
+relevant-pair-pruned recursion on packed words, where
+
+* edge probing is a bit test,
+* ``I ∩ C(u,v)`` is a word-wise AND,
+* the ``c = 1`` / ``c = 2`` base cases are popcounts.
+
+Counts are bit-for-bit identical to the reference engine (asserted by the
+test suite across all engines). No cost tracking — use the reference
+engine for work/depth instrumentation.
+
+Honest performance note: in *CPython* the win only materializes when the
+candidate universes span several words — on the Table-2 stand-ins
+(γ ≤ ~20, a single word) per-call numpy overhead dominates and the
+reference engine is faster. The module exists because it is the kernel a
+C/Cython port would keep: every operation on the hot path is already a
+fixed-width word AND/popcount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.bitset import BitMatrix, popcount, unpack_bits
+from ..graphs.csr import CSRGraph
+from ..graphs.digraph import orient_by_order
+from ..orders.degeneracy import degeneracy_order
+from ..triangles.communities import build_communities
+
+__all__ = ["fast_count_cliques"]
+
+
+def _count_bits_recursive(mat: BitMatrix, mask: np.ndarray, c: int) -> int:
+    """Count c-cliques among the set bits of ``mask`` in the renamed DAG."""
+    if c == 1:
+        return popcount(mask)
+    members = unpack_bits(mask, mat.universe)
+    if members.size < c:
+        return 0
+    if c == 2:
+        total = 0
+        for i in members.tolist():
+            total += mat.count_and(int(i), mask)
+        return total
+    total = 0
+    gap = c - 1  # delta >= c-2 within the current candidate set
+    for pos in range(members.size - gap):
+        u = int(members[pos])
+        # Relevant edge targets: out-neighbors of u inside the candidate
+        # set whose *position* in the set is at least pos + gap.
+        hits = unpack_bits(mat.and_row(u, mask), mat.universe)
+        if hits.size == 0:
+            continue
+        positions = np.searchsorted(members, hits)
+        for v in hits[positions >= pos + gap].tolist():
+            # I' = I ∩ C(u, v): three word-ANDs, no index materialization.
+            sub_mask = mask & mat.rows[u] & mat.rows_in[int(v)]
+            if popcount(sub_mask) < c - 2:
+                continue
+            total += _count_bits_recursive(mat, sub_mask, c - 2)
+    return total
+
+
+def fast_count_cliques(graph: CSRGraph, k: int) -> int:
+    """Count k-cliques with the bitset kernel (same result, no tracking)."""
+    if k < 1:
+        raise ValueError(f"clique size must be >= 1, got {k}")
+    n = graph.num_vertices
+    if k == 1:
+        return n
+    if k == 2:
+        return graph.num_edges
+    order = degeneracy_order(graph).order
+    dag = orient_by_order(graph, order)
+    comms = build_communities(dag)
+    if k == 3:
+        return comms.num_triangles
+
+    eligible = np.flatnonzero(comms.sizes >= (k - 2))
+    total = 0
+    for eid in eligible.tolist():
+        members = comms.of(eid).astype(np.int64)
+        mat = BitMatrix.from_dag_community(dag, members)
+        total += _count_bits_recursive(mat, mat.full_mask(), k - 2)
+    return total

@@ -1,0 +1,104 @@
+"""Relevant pairs/edges machinery (§2.2, §3.1).
+
+Given a set of vertices ``I`` with a total order (kept as a sorted array),
+the distance ``δ_I(u, v)`` is the number of elements of ``I`` ordered
+strictly between ``u`` and ``v``. A pair is *relevant w.r.t. c* when
+``δ_I(u, v) ≥ c`` — only such pairs can support a clique needing ``c``
+more vertices. This module implements the sets used by the analysis and
+the property tests of Observations 3–4 and Lemmas 2.2/3.1:
+
+* ``R_c^P(I)`` — relevant pairs,
+* ``R_c^E(G[I])`` — relevant pairs that are edges,
+* ``P_c^±(I)`` — relevant out-/in-vertices,
+* ``E_c^+(G)``, ``E_c^-(G, u)`` — endpoints of relevant edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..graphs.digraph import OrientedDAG
+
+__all__ = [
+    "delta",
+    "num_relevant_pairs",
+    "relevant_pairs",
+    "relevant_out_vertices",
+    "relevant_in_vertices",
+    "relevant_edges",
+    "relevant_edge_out_vertices",
+    "relevant_edge_in_vertices",
+]
+
+
+def delta(candidates: np.ndarray, i: int, j: int) -> int:
+    """δ over a sorted candidate array, by index: elements between i and j."""
+    if not 0 <= i < candidates.size or not 0 <= j < candidates.size:
+        raise IndexError("candidate indices out of range")
+    return abs(j - i) - 1 if i != j else 0
+
+
+def num_relevant_pairs(size: int, c: int) -> int:
+    """|R_c^P(I)| for |I| = size — Observation 4: binom(size - c, 2)."""
+    if c < 0:
+        raise ValueError("c must be non-negative")
+    rem = size - c
+    return rem * (rem - 1) // 2 if rem >= 2 else 0
+
+
+def relevant_pairs(candidates: np.ndarray, c: int) -> Iterator[Tuple[int, int]]:
+    """Yield all pairs (u, v) of the sorted candidate array with δ ≥ c."""
+    n = candidates.size
+    for i in range(n):
+        for j in range(i + c + 1, n):
+            yield int(candidates[i]), int(candidates[j])
+
+
+def relevant_out_vertices(candidates: np.ndarray, c: int) -> np.ndarray:
+    """P_c^+(I): vertices that begin at least one relevant pair.
+
+    Observation 3: exactly the first |I| - (c+1) candidates.
+    """
+    keep = candidates.size - (c + 1)
+    return candidates[: max(keep, 0)]
+
+
+def relevant_in_vertices(candidates: np.ndarray, c: int) -> np.ndarray:
+    """P_c^-(I): vertices that end at least one relevant pair."""
+    skip = c + 1
+    return candidates[skip:] if skip < candidates.size else candidates[:0]
+
+
+def relevant_edges(
+    dag: OrientedDAG, candidates: np.ndarray, c: int
+) -> Iterator[Tuple[int, int]]:
+    """Yield the relevant pairs of ``candidates`` that are edges of ``dag``.
+
+    This is ``R_c^E(G[I])`` — the pairs Algorithm 2 recurses on (with
+    ``c`` set to its parameter minus 2).
+    """
+    n = candidates.size
+    for i in range(n):
+        u = int(candidates[i])
+        targets = candidates[i + c + 1 :]
+        if targets.size == 0:
+            continue
+        hits = np.intersect1d(dag.out_neighbors(u), targets, assume_unique=True)
+        for v in hits:
+            yield u, int(v)
+
+
+def relevant_edge_out_vertices(dag: OrientedDAG, candidates: np.ndarray, c: int) -> np.ndarray:
+    """E_c^+(G[I]): out-endpoints of at least one relevant edge."""
+    seen = sorted({u for u, _ in relevant_edges(dag, candidates, c)})
+    return np.asarray(seen, dtype=candidates.dtype)
+
+
+def relevant_edge_in_vertices(
+    dag: OrientedDAG, candidates: np.ndarray, c: int, u: int
+) -> np.ndarray:
+    """E_c^-(G[I], u): in-endpoints forming a relevant edge with ``u``."""
+    vs = sorted(v for uu, v in relevant_edges(dag, candidates, c) if uu == u)
+    return np.asarray(vs, dtype=candidates.dtype)

@@ -1,0 +1,231 @@
+"""The six Table-1 configurations of the clique-listing algorithm (§4).
+
+Degeneracy-parameterized (Algorithm 1):
+
+* ``best-work`` — exact degeneracy order: W = O(km((s+3−k)/2)^{k−2}),
+  D = O(n + k log n).
+* ``best-depth`` — (2+ε)-approximate degeneracy order:
+  W = O(km((s(2+ε)+3−k)/2)^{k−2}), D = O(k log n + log² n).
+* ``hybrid`` (§4.2) — approximate order outside, exact order inside each
+  out-neighborhood: W = O(kns((s+3−k)/2)^{k−2}), D = O(s + k log n + log² n).
+
+Community-degeneracy-parameterized (Algorithm 3):
+
+* ``cd-best-work`` — exact greedy edge order (σ candidate sets).
+* ``cd-best-depth`` — Algorithm 4's (3+ε)-approximate edge order.
+* ``cd-hybrid`` — approximate edge order outside, exact degeneracy
+  orientation inside each candidate subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.digraph import orient_by_order
+from ..orders.approx_community import approx_community_order
+from ..orders.approx_degeneracy import approx_degeneracy_order
+from ..orders.community_order import community_degeneracy_order
+from ..orders.degeneracy import degeneracy_order
+from ..pram.cost import Cost
+from ..pram.primitives import log2p1
+from ..pram.schedule import TaskLog
+from ..pram.tracker import Tracker
+from .clique_listing import CliqueSearchResult, count_cliques_on_dag
+from .community_variant import count_cliques_community_order
+from .recursive import SearchStats
+
+__all__ = ["VARIANTS", "run_variant"]
+
+VARIANTS = (
+    "best-work",
+    "best-depth",
+    "hybrid",
+    "cd-best-work",
+    "cd-best-depth",
+    "cd-hybrid",
+)
+
+
+def run_variant(
+    graph: CSRGraph,
+    k: int,
+    variant: str,
+    tracker: Tracker,
+    eps: float = 0.5,
+    collect: bool = False,
+    prune: bool = True,
+) -> CliqueSearchResult:
+    """Count (or list) k-cliques with one of the Table-1 variants."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
+    if k < 1:
+        raise ValueError(f"clique size must be >= 1, got {k}")
+
+    if variant == "best-work":
+        with tracker.phase("orientation"):
+            order = degeneracy_order(graph, tracker=tracker).order
+            dag = orient_by_order(graph, order, tracker=tracker)
+        return count_cliques_on_dag(
+            dag, k, tracker, collect=collect, prune=prune
+        )
+
+    if variant == "best-depth":
+        with tracker.phase("orientation"):
+            order = approx_degeneracy_order(graph, eps=eps, tracker=tracker).order
+            dag = orient_by_order(graph, order, tracker=tracker)
+        return count_cliques_on_dag(
+            dag, k, tracker, collect=collect, prune=prune
+        )
+
+    if variant == "hybrid":
+        return _run_hybrid(graph, k, tracker, eps=eps, collect=collect, prune=prune)
+
+    # Community-degeneracy variants need k >= 4; fall back to the plain
+    # algorithm for trivial sizes (the edge order plays no role there).
+    if k < 4:
+        with tracker.phase("orientation"):
+            order = degeneracy_order(graph, tracker=tracker).order
+            dag = orient_by_order(graph, order, tracker=tracker)
+        return count_cliques_on_dag(dag, k, tracker, collect=collect)
+
+    if variant == "cd-best-work":
+        with tracker.phase("edge-order"):
+            edge_order = community_degeneracy_order(graph, tracker=tracker)
+        return count_cliques_community_order(
+            graph, k, edge_order, tracker, collect=collect
+        )
+
+    if variant == "cd-best-depth":
+        with tracker.phase("edge-order"):
+            edge_order = approx_community_order(graph, eps=eps, tracker=tracker)
+        return count_cliques_community_order(
+            graph, k, edge_order, tracker, collect=collect
+        )
+
+    # cd-hybrid (§4.3): approximate edge order outside, exact degeneracy
+    # orientation inside each candidate subgraph.
+    with tracker.phase("edge-order"):
+        edge_order = approx_community_order(graph, eps=eps, tracker=tracker)
+    return count_cliques_community_order(
+        graph, k, edge_order, tracker, collect=collect, inner_order="degeneracy"
+    )
+
+
+def _count_in_subgraph(
+    sub: CSRGraph,
+    k: int,
+    tracker: Tracker,
+    collect: bool,
+    labels: np.ndarray,
+    cliques: Optional[List[Tuple[int, ...]]],
+    extra: Tuple[int, ...],
+    prune: bool = True,
+) -> Tuple[int, Cost, SearchStats]:
+    """Count k-cliques of an induced subgraph with the exact-order engine.
+
+    ``labels`` maps subgraph ids back to parent ids; ``extra`` vertices are
+    prepended to every listed clique. Returns (count, task cost, stats).
+    """
+    sub_tracker = Tracker()
+    if k == 1:
+        cnt = sub.num_vertices
+        if collect and cliques is not None:
+            for v in range(cnt):
+                cliques.append(tuple(sorted(extra + (int(labels[v]),))))
+        return cnt, Cost(cnt, 1), SearchStats()
+    if k == 2:
+        cnt = sub.num_edges
+        if collect and cliques is not None:
+            us, vs = sub.edge_array()
+            for u, v in zip(us, vs):
+                cliques.append(
+                    tuple(sorted(extra + (int(labels[u]), int(labels[v]))))
+                )
+        return cnt, Cost(2 * cnt, 1), SearchStats()
+
+    order = degeneracy_order(sub, tracker=sub_tracker).order
+    dag = orient_by_order(sub, order, tracker=sub_tracker)
+    res = count_cliques_on_dag(dag, k, sub_tracker, collect=collect, prune=prune)
+    if collect and cliques is not None and res.cliques is not None:
+        for cl in res.cliques:
+            cliques.append(tuple(sorted(extra + tuple(int(labels[x]) for x in cl))))
+    return res.count, sub_tracker.total, res.stats
+
+
+def _run_hybrid(
+    graph: CSRGraph,
+    k: int,
+    tracker: Tracker,
+    eps: float,
+    collect: bool,
+    prune: bool = True,
+) -> CliqueSearchResult:
+    """§4.2: (2.5)-approximate order outside, exact order per N⁺(v)."""
+    n = graph.num_vertices
+    with tracker.phase("orientation"):
+        order = approx_degeneracy_order(graph, eps=eps, tracker=tracker).order
+        dag = orient_by_order(graph, order, tracker=tracker)
+
+    stats = SearchStats()
+    task_log = TaskLog()
+    cliques: Optional[List[Tuple[int, ...]]] = [] if collect else None
+    orig = dag.original_ids
+
+    if k == 1:
+        tracker.charge(Cost(n, 1))
+        if collect:
+            cliques.extend((v,) for v in range(n))
+        return CliqueSearchResult(
+            k=k, count=n, cost=tracker.total, stats=stats, task_log=task_log,
+            phases=tracker.phases, gamma=0, max_out_degree=dag.max_out_degree,
+            cliques=cliques,
+        )
+
+    total = 0
+    max_gamma = 0
+    undirected = graph
+    with tracker.phase("search"):
+        with tracker.parallel() as region:
+            for v in range(n):
+                out = dag.out_neighbors(v)
+                if out.size < k - 1:
+                    continue
+                # Induced subgraph on the out-neighborhood, in ORIGINAL ids.
+                members = np.sort(orig[out]).astype(np.int32)
+                sub, labels = undirected.subgraph(members)
+                build_cost = Cost(
+                    float(members.size) * (dag.max_out_degree + 1),
+                    log2p1(members.size) + 1,
+                )
+                cnt, sub_cost, sub_stats = _count_in_subgraph(
+                    sub,
+                    k - 1,
+                    tracker,
+                    collect,
+                    labels,
+                    cliques,
+                    extra=(int(orig[v]),),
+                    prune=prune,
+                )
+                total += cnt
+                max_gamma = max(max_gamma, members.size)
+                task_cost = build_cost + sub_cost
+                region.add_task_cost(task_cost)
+                task_log.add(task_cost)
+                stats.merge(sub_stats)
+
+    return CliqueSearchResult(
+        k=k,
+        count=total,
+        cost=tracker.total,
+        stats=stats,
+        task_log=task_log,
+        phases=tracker.phases,
+        gamma=max_gamma,
+        max_out_degree=dag.max_out_degree,
+        cliques=cliques,
+    )
+

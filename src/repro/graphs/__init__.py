@@ -1,0 +1,71 @@
+"""Graph substrate: CSR storage, builders, orientation, generators, I/O."""
+
+from .builder import complete_graph, empty_graph, from_adjacency, from_edges
+from .csr import CSRGraph
+from .digraph import OrientedDAG, orient_by_order, orient_by_rank
+from .bitset import BitMatrix, pack_indices, popcount, unpack_bits
+from .components import (
+    connected_components,
+    label_propagation_components,
+    largest_component,
+)
+from .kernels import Kernel, kcore_kernel, triangle_kernel
+from .generators import (
+    banded_graph,
+    bipartite_plus_line_graph,
+    collaboration_graph,
+    core_periphery_graph,
+    chung_lu_graph,
+    clique_chain,
+    gnm_random_graph,
+    hypercube_graph,
+    mesh_graph_3d,
+    plant_cliques,
+    powerlaw_cluster_graph,
+    random_geometric_graph,
+    relaxed_caveman_graph,
+    rmat_graph,
+    turan_graph,
+)
+from .io import load_npz, read_edge_list, read_mtx, save_npz, write_edge_list
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "empty_graph",
+    "complete_graph",
+    "OrientedDAG",
+    "orient_by_order",
+    "orient_by_rank",
+    "gnm_random_graph",
+    "powerlaw_cluster_graph",
+    "rmat_graph",
+    "plant_cliques",
+    "hypercube_graph",
+    "bipartite_plus_line_graph",
+    "random_geometric_graph",
+    "chung_lu_graph",
+    "relaxed_caveman_graph",
+    "mesh_graph_3d",
+    "clique_chain",
+    "turan_graph",
+    "banded_graph",
+    "collaboration_graph",
+    "core_periphery_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "read_mtx",
+    "Kernel",
+    "kcore_kernel",
+    "triangle_kernel",
+    "BitMatrix",
+    "pack_indices",
+    "unpack_bits",
+    "popcount",
+    "connected_components",
+    "label_propagation_components",
+    "largest_component",
+]

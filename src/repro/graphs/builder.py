@@ -1,0 +1,110 @@
+"""Edge-list → CSR construction pipeline.
+
+Cleans arbitrary edge input the way the paper's experiments do with their
+datasets ("all graphs ... have been symmetrized"): drop self-loops,
+symmetrize, deduplicate parallel edges, and optionally compact vertex
+labels. All steps are vectorized numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["from_edges", "from_adjacency", "empty_graph", "complete_graph"]
+
+EdgeInput = Union[np.ndarray, Sequence[Tuple[int, int]]]
+
+
+def _as_edge_arrays(edges: EdgeInput) -> Tuple[np.ndarray, np.ndarray]:
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array or sequence of pairs")
+    return arr[:, 0].copy(), arr[:, 1].copy()
+
+
+def from_edges(
+    edges: EdgeInput,
+    num_vertices: Optional[int] = None,
+    compact: bool = False,
+) -> CSRGraph:
+    """Build a simple undirected CSR graph from an edge list.
+
+    Self-loops are dropped, edges are symmetrized, and duplicates removed.
+    ``num_vertices`` forces the vertex count (isolated trailing vertices);
+    ``compact`` relabels the used vertex ids to ``0..n'-1`` first.
+    """
+    us, vs = _as_edge_arrays(edges)
+    if us.size and (us.min() < 0 or vs.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+
+    keep = us != vs
+    us, vs = us[keep], vs[keep]
+
+    if compact:
+        labels = np.unique(np.concatenate([us, vs]))
+        us = np.searchsorted(labels, us)
+        vs = np.searchsorted(labels, vs)
+        inferred = labels.size
+    else:
+        inferred = int(max(us.max(initial=-1), vs.max(initial=-1)) + 1)
+
+    n = inferred if num_vertices is None else int(num_vertices)
+    if n < inferred:
+        raise ValueError(
+            f"num_vertices={n} too small for max vertex id {inferred - 1}"
+        )
+
+    # Symmetrize, then dedup via a packed sort.
+    src = np.concatenate([us, vs])
+    dst = np.concatenate([vs, us])
+    if src.size:
+        packed = src * n + dst
+        packed = np.unique(packed)
+        src = (packed // n).astype(np.int64)
+        dst = (packed % n).astype(np.int32)
+    else:
+        dst = dst.astype(np.int32)
+
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    # packed sort already ordered dst within each src block ascending
+    return CSRGraph(indptr, dst, validate=False)
+
+
+def from_adjacency(adj: Iterable[Iterable[int]]) -> CSRGraph:
+    """Build a graph from an adjacency-list structure (e.g. dict/lists)."""
+    pairs = []
+    for u, nbrs in enumerate(adj):
+        for v in nbrs:
+            pairs.append((u, v))
+    n = len(list(adj)) if not isinstance(adj, (list, tuple)) else len(adj)
+    return from_edges(np.asarray(pairs, dtype=np.int64).reshape(-1, 2), num_vertices=n)
+
+
+def empty_graph(n: int) -> CSRGraph:
+    """Graph with ``n`` vertices and no edges."""
+    if n < 0:
+        raise ValueError("vertex count must be non-negative")
+    return CSRGraph(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int32), validate=False)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """The complete graph K_n."""
+    if n < 0:
+        raise ValueError("vertex count must be non-negative")
+    if n < 2:
+        return empty_graph(n)
+    indptr = np.arange(0, n * n, n - 1, dtype=np.int64)[: n + 1]
+    indptr = np.arange(n + 1, dtype=np.int64) * (n - 1)
+    rows = []
+    base = np.arange(n, dtype=np.int32)
+    for v in range(n):
+        rows.append(np.delete(base, v))
+    return CSRGraph(indptr, np.concatenate(rows), validate=False)

@@ -1,0 +1,152 @@
+"""Immutable CSR (compressed sparse row) undirected graph.
+
+The central data structure of the library. Vertices are ``0..n-1``;
+adjacency is stored as two numpy arrays — ``indptr`` (length ``n+1``) and
+``indices`` (length ``2m`` for an undirected graph, each edge appearing in
+both endpoint rows). Neighbor lists are kept **sorted**, which the
+clique-search kernels rely on for binary-search edge probes and
+linear-merge intersections.
+
+Use :func:`repro.graphs.builder.from_edges` (or the generators) to
+construct graphs; the constructor here validates but does not clean input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable, simple (no loops/multi-edges), undirected CSR graph."""
+
+    __slots__ = ("indptr", "indices", "_num_edges")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, validate: bool = True):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        if validate:
+            self._validate(indptr, indices)
+        self.indptr = indptr
+        self.indices = indices
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        self._num_edges = int(indices.size) // 2
+
+    @staticmethod
+    def _validate(indptr: np.ndarray, indices: np.ndarray) -> None:
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0:
+            raise ValueError("indptr must have length n+1 >= 1")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.size % 2 != 0:
+            raise ValueError("undirected CSR must store each edge twice")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("neighbor index out of range")
+        for v in range(n):
+            row = indices[indptr[v] : indptr[v + 1]]
+            if row.size:
+                if np.any(np.diff(row) <= 0):
+                    raise ValueError(
+                        f"adjacency of vertex {v} must be strictly increasing "
+                        "(sorted, no duplicates)"
+                    )
+                if np.any(row == v):
+                    raise ValueError(f"self-loop at vertex {v}")
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree array (a fresh int64 array of length n)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (a read-only view)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """O(log deg(u)) membership probe via binary search."""
+        row = self.neighbors(u)
+        i = np.searchsorted(row, v)
+        return bool(i < row.size and row[i] == v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            row = self.neighbors(u)
+            for v in row[np.searchsorted(row, u, side="right") :]:
+                yield u, int(v)
+
+    def edge_array(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized edge list ``(us, vs)`` with ``us < vs``."""
+        n = self.num_vertices
+        deg = self.degrees
+        us = np.repeat(np.arange(n, dtype=np.int32), deg)
+        vs = self.indices
+        mask = us < vs
+        return us[mask], vs[mask].astype(np.int32)
+
+    # -- derived graphs -------------------------------------------------------
+
+    def subgraph(self, vertices: np.ndarray) -> Tuple["CSRGraph", np.ndarray]:
+        """Induced subgraph on ``vertices`` (sorted unique labels).
+
+        Returns the relabeled subgraph (vertex ``i`` of the result is
+        ``vertices[i]``) together with the ``vertices`` array itself so
+        callers can map results back.
+        """
+        vertices = np.asarray(vertices, dtype=np.int32)
+        if vertices.size and np.any(np.diff(vertices) <= 0):
+            raise ValueError("subgraph vertex set must be sorted and unique")
+        nv = vertices.size
+        rows = []
+        counts = np.zeros(nv, dtype=np.int64)
+        for i in range(nv):
+            row = self.neighbors(int(vertices[i]))
+            keep = row[np.isin(row, vertices, assume_unique=True)]
+            local = np.searchsorted(vertices, keep).astype(np.int32)
+            rows.append(local)
+            counts[i] = local.size
+        indptr = np.zeros(nv + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int32)
+        )
+        return CSRGraph(indptr, indices, validate=False), vertices
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"

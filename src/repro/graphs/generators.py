@@ -1,0 +1,497 @@
+"""Synthetic graph generators (pure numpy, deterministic under a seed).
+
+These stand in for the paper's datasets (Table 2) which we cannot download
+in this offline environment, and provide the structural example families
+from §1.1 (hypercube with σ=0; complete-bipartite ∪ line-graph with σ=1
+but degeneracy Θ(n)). Every generator returns a clean
+:class:`~repro.graphs.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .builder import from_edges, empty_graph
+from .csr import CSRGraph
+
+__all__ = [
+    "gnm_random_graph",
+    "powerlaw_cluster_graph",
+    "rmat_graph",
+    "plant_cliques",
+    "hypercube_graph",
+    "bipartite_plus_line_graph",
+    "random_geometric_graph",
+    "chung_lu_graph",
+    "relaxed_caveman_graph",
+    "mesh_graph_3d",
+    "clique_chain",
+    "turan_graph",
+    "banded_graph",
+    "collaboration_graph",
+    "core_periphery_graph",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def gnm_random_graph(n: int, m: int, seed: Optional[int] = None) -> CSRGraph:
+    """Uniform G(n, m): n vertices, m distinct undirected edges."""
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds the {max_m} possible edges on n={n}")
+    rng = _rng(seed)
+    if m == 0:
+        return empty_graph(n)
+    # Rejection-sample packed edge codes until m distinct ones are found.
+    chosen: np.ndarray = np.empty(0, dtype=np.int64)
+    while chosen.size < m:
+        need = int((m - chosen.size) * 1.2) + 8
+        u = rng.integers(0, n, size=need, dtype=np.int64)
+        v = rng.integers(0, n, size=need, dtype=np.int64)
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        codes = lo * n + hi
+        codes = codes[lo != hi]
+        chosen = np.unique(np.concatenate([chosen, codes]))
+    chosen = rng.permutation(chosen)[:m]
+    edges = np.stack([chosen // n, chosen % n], axis=1)
+    return from_edges(edges, num_vertices=n)
+
+
+def powerlaw_cluster_graph(
+    n: int, m_per_vertex: int, p_triad: float, seed: Optional[int] = None
+) -> CSRGraph:
+    """Holme–Kim preferential attachment with triad closure.
+
+    Each new vertex attaches ``m_per_vertex`` edges; after each
+    preferential attachment, with probability ``p_triad`` the next edge
+    closes a triangle with a random neighbor of the previous target. This
+    yields heavy-tailed degrees *and* tunable clustering — the regime of
+    the social/collaboration graphs in Table 2.
+    """
+    if m_per_vertex < 1 or n < m_per_vertex + 1:
+        raise ValueError("need n > m_per_vertex >= 1")
+    if not 0.0 <= p_triad <= 1.0:
+        raise ValueError("p_triad must lie in [0, 1]")
+    rng = _rng(seed)
+    # Repeated-targets list implements preferential attachment.
+    repeated: List[int] = list(range(m_per_vertex))
+    edges: List[Tuple[int, int]] = []
+    adj: List[set] = [set() for _ in range(n)]
+
+    def add_edge(a: int, b: int) -> None:
+        if a != b and b not in adj[a]:
+            adj[a].add(b)
+            adj[b].add(a)
+            edges.append((a, b))
+            repeated.append(a)
+            repeated.append(b)
+
+    for v in range(m_per_vertex, n):
+        target = int(repeated[rng.integers(len(repeated))])
+        add_edge(v, target)
+        added = 1
+        prev = target
+        while added < m_per_vertex:
+            if adj[prev] and rng.random() < p_triad:
+                cand = int(rng.choice(np.fromiter(adj[prev], dtype=np.int64)))
+                if cand != v and cand not in adj[v]:
+                    add_edge(v, cand)
+                    added += 1
+                    prev = cand
+                    continue
+            target = int(repeated[rng.integers(len(repeated))])
+            if target != v and target not in adj[v]:
+                add_edge(v, target)
+                added += 1
+                prev = target
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Kronecker/R-MAT generator (Graph500 parameters by default)."""
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    d = 1.0 - a - b - c
+    if d < -1e-9 or min(a, b, c) < 0:
+        raise ValueError("R-MAT probabilities must be non-negative and sum <= 1")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    us = np.zeros(m, dtype=np.int64)
+    vs = np.zeros(m, dtype=np.int64)
+    probs = np.array([a, b, c, max(d, 0.0)])
+    probs = probs / probs.sum()
+    for _ in range(scale):
+        quad = rng.choice(4, size=m, p=probs)
+        us = (us << 1) | (quad >> 1)
+        vs = (vs << 1) | (quad & 1)
+    edges = np.stack([us, vs], axis=1)
+    return from_edges(edges, num_vertices=n)
+
+
+def plant_cliques(
+    base: CSRGraph,
+    clique_sizes: Sequence[int],
+    seed: Optional[int] = None,
+    disjoint: bool = True,
+) -> Tuple[CSRGraph, List[np.ndarray]]:
+    """Overlay cliques of the given sizes onto ``base``.
+
+    Returns the new graph and the list of planted vertex sets. With
+    ``disjoint`` the planted sets do not share vertices (so each planted
+    k-clique is guaranteed to survive as a clique of exactly its size
+    unless base edges extend it).
+    """
+    rng = _rng(seed)
+    n = base.num_vertices
+    if sum(clique_sizes) > n and disjoint:
+        raise ValueError("not enough vertices for disjoint planted cliques")
+    pool = rng.permutation(n)
+    planted: List[np.ndarray] = []
+    extra: List[Tuple[int, int]] = []
+    offset = 0
+    for size in clique_sizes:
+        if size < 2:
+            raise ValueError("clique sizes must be >= 2")
+        if disjoint:
+            members = np.sort(pool[offset : offset + size])
+            offset += size
+        else:
+            members = np.sort(rng.choice(n, size=size, replace=False))
+        planted.append(members.astype(np.int32))
+        for i, j in itertools.combinations(members.tolist(), 2):
+            extra.append((int(i), int(j)))
+    us, vs = base.edge_array()
+    old = np.stack([us.astype(np.int64), vs.astype(np.int64)], axis=1)
+    new = np.asarray(extra, dtype=np.int64).reshape(-1, 2)
+    edges = np.concatenate([old, new], axis=0) if new.size else old
+    return from_edges(edges, num_vertices=n), planted
+
+
+def hypercube_graph(dim: int) -> CSRGraph:
+    """The d-dimensional hypercube: degeneracy d, community degeneracy 0.
+
+    The paper's §1.1 example of a graph whose community degeneracy is
+    arbitrarily smaller than its degeneracy (it is triangle-free).
+    """
+    if dim < 0:
+        raise ValueError("dimension must be non-negative")
+    n = 1 << dim
+    vertices = np.arange(n, dtype=np.int64)
+    edges = []
+    for bit in range(dim):
+        us = vertices
+        vs = vertices ^ (1 << bit)
+        keep = us < vs
+        edges.append(np.stack([us[keep], vs[keep]], axis=1))
+    if not edges:
+        return empty_graph(n)
+    return from_edges(np.concatenate(edges, axis=0), num_vertices=n)
+
+
+def bipartite_plus_line_graph(half: int) -> CSRGraph:
+    """K_{half,half} plus a path inside one part (§1.1 example).
+
+    Degeneracy Θ(half) but community degeneracy 1: each triangle uses one
+    path edge, and every subgraph has an edge in at most one triangle's
+    worth of community. Θ(half) triangles overall.
+    """
+    if half < 1:
+        raise ValueError("each part needs at least one vertex")
+    left = np.arange(half, dtype=np.int64)
+    right = np.arange(half, 2 * half, dtype=np.int64)
+    bi = np.stack(
+        [np.repeat(left, half), np.tile(right, half)], axis=1
+    )
+    path = np.stack([left[:-1], left[1:]], axis=1) if half > 1 else np.empty((0, 2), dtype=np.int64)
+    return from_edges(np.concatenate([bi, path], axis=0), num_vertices=2 * half)
+
+
+def random_geometric_graph(
+    n: int, radius: float, seed: Optional[int] = None
+) -> CSRGraph:
+    """Unit-square random geometric graph via grid bucketing (O(n) cells).
+
+    Produces mesh-like, high-clustering, low-degeneracy graphs — the
+    regime of the structural 'Gearbox'/'Chebyshev4' matrices in Table 2.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if radius <= 0:
+        return empty_graph(n)
+    rng = _rng(seed)
+    pts = rng.random((n, 2))
+    cell = max(radius, 1e-9)
+    grid = np.floor(pts / cell).astype(np.int64)
+    ncols = int(np.ceil(1.0 / cell)) + 1
+    cell_id = grid[:, 0] * ncols + grid[:, 1]
+    order = np.argsort(cell_id, kind="mergesort")
+    edges: List[np.ndarray] = []
+    # Bucket → member list
+    from collections import defaultdict
+
+    buckets = defaultdict(list)
+    for idx in order:
+        buckets[int(cell_id[idx])].append(int(idx))
+    r2 = radius * radius
+    for cid, members in buckets.items():
+        gx, gy = divmod(cid, ncols)
+        cand: List[int] = []
+        for dx in (0, 1):
+            for dy in (-1, 0, 1):
+                if dx == 0 and dy < 0:
+                    continue
+                cand.extend(buckets.get((gx + dx) * ncols + (gy + dy), []))
+        members_arr = np.asarray(members)
+        cand_arr = np.asarray(cand)
+        for u in members:
+            others = cand_arr[cand_arr > u]
+            if others.size == 0:
+                continue
+            d2 = ((pts[others] - pts[u]) ** 2).sum(axis=1)
+            close = others[d2 <= r2]
+            if close.size:
+                edges.append(
+                    np.stack([np.full(close.size, u, dtype=np.int64), close], axis=1)
+                )
+    if not edges:
+        return empty_graph(n)
+    return from_edges(np.concatenate(edges, axis=0), num_vertices=n)
+
+
+def chung_lu_graph(
+    weights: np.ndarray, seed: Optional[int] = None
+) -> CSRGraph:
+    """Chung–Lu model: edge (u,v) w.p. min(1, w_u w_v / W).
+
+    Implemented with the efficient ~O(m) skip-sampling over sorted
+    weights (Miller–Hagberg).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or (w.size and w.min() < 0):
+        raise ValueError("weights must be a 1-D non-negative array")
+    n = w.size
+    rng = _rng(seed)
+    order = np.argsort(-w)
+    ws = w[order]
+    total = ws.sum()
+    edges: List[Tuple[int, int]] = []
+    if total <= 0:
+        return empty_graph(n)
+    for i in range(n - 1):
+        if ws[i] == 0:
+            break
+        j = i + 1
+        p = min(1.0, ws[i] * ws[j] / total) if j < n else 0.0
+        while j < n and p > 0:
+            if p < 1.0:
+                skip = int(np.floor(np.log(rng.random()) / np.log(1.0 - p)))
+                j += skip
+            if j >= n:
+                break
+            q = min(1.0, ws[i] * ws[j] / total)
+            if rng.random() < q / p:
+                edges.append((int(order[i]), int(order[j])))
+            p = q
+            j += 1
+    if not edges:
+        return empty_graph(n)
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def relaxed_caveman_graph(
+    n_cliques: int, clique_size: int, p_rewire: float, seed: Optional[int] = None
+) -> CSRGraph:
+    """Cliques arranged in a ring, each edge rewired w.p. ``p_rewire``.
+
+    Extremely triangle-dense — the regime of 'Jester2'/'Bio-SC-HT'
+    (hundreds of triangles per vertex).
+    """
+    if n_cliques < 1 or clique_size < 2:
+        raise ValueError("need n_cliques >= 1 and clique_size >= 2")
+    if not 0.0 <= p_rewire <= 1.0:
+        raise ValueError("p_rewire must lie in [0, 1]")
+    rng = _rng(seed)
+    n = n_cliques * clique_size
+    edges: List[Tuple[int, int]] = []
+    for c in range(n_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                u, v = base + i, base + j
+                if rng.random() < p_rewire:
+                    v = int(rng.integers(n))
+                if u != v:
+                    edges.append((u, v))
+        # ring link to the next cave
+        edges.append((base, (base + clique_size) % n))
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def mesh_graph_3d(nx: int, ny: int, nz: int, diagonals: bool = True) -> CSRGraph:
+    """3-D grid with optional cell diagonals (finite-element-style mesh).
+
+    With diagonals each unit cell is densely connected, giving the
+    moderate-degeneracy, one-triangle-per-edge structure of the 'Gearbox'
+    matrix.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError("all mesh dimensions must be >= 1")
+    n = nx * ny * nz
+
+    def vid(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+        return (x * ny + y) * nz + z
+
+    xs, ys, zs = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    xs, ys, zs = xs.ravel(), ys.ravel(), zs.ravel()
+    offsets = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    if diagonals:
+        offsets += [(1, 1, 0), (1, 0, 1), (0, 1, 1), (1, 1, 1), (1, -1, 0), (1, 0, -1), (0, 1, -1)]
+    parts = []
+    for dx, dy, dz in offsets:
+        x2, y2, z2 = xs + dx, ys + dy, zs + dz
+        ok = (
+            (x2 >= 0) & (x2 < nx) & (y2 >= 0) & (y2 < ny) & (z2 >= 0) & (z2 < nz)
+        )
+        parts.append(
+            np.stack([vid(xs[ok], ys[ok], zs[ok]), vid(x2[ok], y2[ok], z2[ok])], axis=1)
+        )
+    return from_edges(np.concatenate(parts, axis=0), num_vertices=n)
+
+
+def clique_chain(n_cliques: int, clique_size: int, overlap: int = 1) -> CSRGraph:
+    """Chain of cliques sharing ``overlap`` vertices with the next one.
+
+    Deterministic graph with known clique counts — a workhorse for tests:
+    it contains exactly ``n_cliques`` maximal cliques of ``clique_size``
+    when ``overlap < clique_size - 1``.
+    """
+    if n_cliques < 1 or clique_size < 2 or not 0 <= overlap < clique_size:
+        raise ValueError("invalid clique-chain parameters")
+    stride = clique_size - overlap
+    n = clique_size + stride * (n_cliques - 1)
+    edges = []
+    for c in range(n_cliques):
+        base = c * stride
+        members = range(base, base + clique_size)
+        for i, j in itertools.combinations(members, 2):
+            edges.append((i, j))
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def turan_graph(n: int, r: int) -> CSRGraph:
+    """Turán graph T(n, r): complete multipartite with r balanced parts.
+
+    The densest K_{r+1}-free graph — an adversarial case for clique
+    search (many near-cliques, none of size r+1).
+    """
+    if r < 1 or n < 0:
+        raise ValueError("need r >= 1 and n >= 0")
+    part = np.arange(n) % r
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if part[u] != part[v]:
+                edges.append((u, v))
+    if not edges:
+        return empty_graph(n)
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def banded_graph(n: int, bandwidth: int) -> CSRGraph:
+    """Banded graph: vertices i, j adjacent iff 0 < |i - j| <= bandwidth.
+
+    The adjacency structure of banded matrices from spectral/structural
+    solvers (the 'Chebyshev4' regime of Table 2): degeneracy = bandwidth,
+    triangle-dense, and rich in medium-size cliques (every window of
+    bandwidth+1 consecutive vertices is a clique).
+    """
+    if n < 0 or bandwidth < 0:
+        raise ValueError("n and bandwidth must be non-negative")
+    parts = []
+    base = np.arange(n, dtype=np.int64)
+    for d in range(1, bandwidth + 1):
+        us = base[: n - d]
+        parts.append(np.stack([us, us + d], axis=1))
+        if us.size == 0:
+            break
+    if not parts:
+        return empty_graph(n)
+    return from_edges(np.concatenate(parts, axis=0), num_vertices=n)
+
+
+def collaboration_graph(
+    n: int,
+    n_groups: int,
+    max_group: int = 12,
+    zipf_a: float = 2.2,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Union of random cliques with Zipf-distributed sizes.
+
+    Models collaboration networks (the 'Ca-DBLP' regime): each group
+    (paper) induces a clique among its members; most groups are small,
+    a few are large.
+    """
+    if n < 2 or n_groups < 1:
+        raise ValueError("need n >= 2 and n_groups >= 1")
+    rng = _rng(seed)
+    sizes = np.minimum(rng.zipf(zipf_a, size=n_groups) + 1, min(max_group, n))
+    edges: List[Tuple[int, int]] = []
+    for size in sizes.tolist():
+        members = rng.choice(n, size=size, replace=False)
+        for i, j in itertools.combinations(np.sort(members).tolist(), 2):
+            edges.append((int(i), int(j)))
+    if not edges:
+        return empty_graph(n)
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def core_periphery_graph(
+    n_core: int,
+    n_periphery: int,
+    p_core: float = 0.6,
+    attach: int = 3,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Dense Erdős–Rényi core plus preferentially-attached periphery.
+
+    Models rating networks symmetrized into a dense item core with a
+    large sparse user fringe (the 'Jester2' regime): almost all triangles
+    live in the core, so |T|/|V| is huge while most vertices are trivial.
+    """
+    if n_core < 1 or n_periphery < 0 or not 0 <= p_core <= 1 or attach < 0:
+        raise ValueError("invalid core-periphery parameters")
+    rng = _rng(seed)
+    n = n_core + n_periphery
+    edges: List[Tuple[int, int]] = []
+    for i in range(n_core):
+        for j in range(i + 1, n_core):
+            if rng.random() < p_core:
+                edges.append((i, j))
+    for v in range(n_core, n):
+        kdeg = min(attach, n_core)
+        if kdeg:
+            targets = rng.choice(n_core, size=kdeg, replace=False)
+            for t in targets.tolist():
+                edges.append((int(t), v))
+    if not edges:
+        return empty_graph(n)
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)

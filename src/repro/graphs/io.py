@@ -1,0 +1,94 @@
+"""Graph I/O: edge-list text, npz binary, and a Matrix-Market subset.
+
+The paper's datasets ship as edge lists (SNAP) and Matrix-Market files
+(NetworkRepository); these readers accept both shapes so a user with the
+real files can drop them in.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .builder import from_edges
+from .csr import CSRGraph
+
+__all__ = ["read_edge_list", "write_edge_list", "save_npz", "load_npz", "read_mtx"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(
+    path: PathLike, comments: str = "#", compact: bool = True
+) -> CSRGraph:
+    """Read a whitespace-separated edge list (SNAP format).
+
+    Lines starting with ``comments`` are skipped; extra columns (weights)
+    are ignored. Vertex ids are compacted by default.
+    """
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            rows.append((int(parts[0]), int(parts[1])))
+    edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, compact=compact)
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write each undirected edge once as ``u v`` per line."""
+    us, vs = graph.edge_array()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# undirected graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        for u, v in zip(us.tolist(), vs.tolist()):
+            fh.write(f"{u} {v}\n")
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(path, indptr=graph.indptr, indices=graph.indices)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph previously stored with :func:`save_npz`."""
+    with np.load(path) as data:
+        return CSRGraph(data["indptr"], data["indices"], validate=False)
+
+
+def read_mtx(path: PathLike) -> CSRGraph:
+    """Read the coordinate-pattern subset of Matrix Market files.
+
+    Supports ``%%MatrixMarket matrix coordinate (pattern|real|integer)
+    (general|symmetric)`` headers, 1-based indices; values are ignored
+    (the graphs in Table 2 are used unweighted).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a Matrix Market file")
+        tokens = header.lower().split()
+        if "coordinate" not in tokens:
+            raise ValueError("only coordinate Matrix Market files are supported")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) < 3:
+            raise ValueError("malformed size line")
+        nrows, ncols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        n = max(nrows, ncols)
+        rows = []
+        for _ in range(nnz):
+            entry = fh.readline().split()
+            if len(entry) < 2:
+                raise ValueError("malformed entry line")
+            rows.append((int(entry[0]) - 1, int(entry[1]) - 1))
+    edges = np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, num_vertices=n)

@@ -1,0 +1,47 @@
+"""Vertex and edge orderings (§4): exact/approximate degeneracy orders and
+exact/approximate community-degeneracy edge orders."""
+
+from .approx_community import approx_community_order
+from .arboricity import (
+    ForestDecomposition,
+    arboricity_estimate,
+    forest_decomposition,
+)
+from .approx_degeneracy import ApproxDegeneracyResult, approx_degeneracy_order
+from .community_order import (
+    EdgeOrderResult,
+    candidate_sets_from_rank,
+    community_degeneracy,
+    community_degeneracy_order,
+    undirected_edge_ids,
+    undirected_triangles,
+)
+from .degeneracy import DegeneracyResult, core_numbers, degeneracy_order
+from .heuristics import degree_order, fill_order, random_order, triangle_order
+from .orientation import OrderKind, OrderQuality, order_quality, oriented_by
+
+__all__ = [
+    "DegeneracyResult",
+    "degeneracy_order",
+    "core_numbers",
+    "ApproxDegeneracyResult",
+    "approx_degeneracy_order",
+    "EdgeOrderResult",
+    "community_degeneracy_order",
+    "community_degeneracy",
+    "approx_community_order",
+    "candidate_sets_from_rank",
+    "undirected_edge_ids",
+    "undirected_triangles",
+    "oriented_by",
+    "order_quality",
+    "OrderQuality",
+    "OrderKind",
+    "ForestDecomposition",
+    "forest_decomposition",
+    "arboricity_estimate",
+    "degree_order",
+    "triangle_order",
+    "fill_order",
+    "random_order",
+]

@@ -1,0 +1,94 @@
+"""(3+ε)-approximate community-degeneracy edge order — **Algorithm 4**.
+
+The paper's novel low-depth preprocessing for the community-degeneracy
+parameterization (§4.3): round-synchronously remove every edge contained
+in at most ``(3+ε)·T/m`` remaining triangles (``T`` = remaining triangle
+count, ``m`` = remaining edge count; each triangle counts once per edge,
+so the average per-edge count is ``3T/m``), appending removed edges to the
+order. Observation 6 shows this terminates in ``O(log_{1+ε} m)`` rounds;
+Lemma 4.4 certifies every candidate set has size ≤ ``(3+ε)σ``. Total:
+O(m·s + m·σ) work and O(log n · log_{1+ε} n) depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..pram.cost import Cost
+from ..pram.primitives import log2p1
+from ..pram.tracker import NULL_TRACKER, Tracker
+from .community_order import EdgeOrderResult, undirected_triangles
+
+__all__ = ["approx_community_order"]
+
+
+def approx_community_order(
+    graph: CSRGraph, eps: float = 0.5, tracker: Tracker = NULL_TRACKER
+) -> EdgeOrderResult:
+    """Run Algorithm 4 and return the edge order with its size certificate.
+
+    ``sigma`` in the result is the maximum per-edge triangle count observed
+    at removal time — by Lemma 4.4 it is at most ``(3+ε)·σ`` of the exact
+    community degeneracy σ. Ties within a round are broken by edge id.
+    """
+    if eps <= 0:
+        raise ValueError("eps must be positive (Algorithm 4 requires ε > 0)")
+    m = graph.num_edges
+    tri, tri_eids = undirected_triangles(graph, tracker=tracker)
+    t = tri.shape[0]
+
+    live_count = (
+        np.bincount(tri_eids.ravel(), minlength=m).astype(np.int64)
+        if t
+        else np.zeros(m, dtype=np.int64)
+    )
+    # CSR edge -> incident triangles (for the removal updates).
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(live_count, out=indptr[1:])
+    tri_of_edge = np.empty(int(indptr[-1]), dtype=np.int64)
+    fill = indptr[:-1].copy()
+    for col in range(3):
+        es = tri_eids[:, col] if t else np.empty(0, dtype=np.int64)
+        for tid in range(t):
+            e = es[tid]
+            tri_of_edge[fill[e]] = tid
+            fill[e] += 1
+
+    edge_alive = np.ones(m, dtype=bool)
+    tri_alive = np.ones(t, dtype=bool)
+    remaining_t = t
+    remaining_m = m
+    edge_rank = np.empty(m, dtype=np.int64)
+    next_rank = 0
+    rounds = 0
+    sigma_bound = 0
+
+    while remaining_m > 0:
+        threshold = (3.0 + eps) * remaining_t / remaining_m
+        peel = np.flatnonzero(edge_alive & (live_count <= threshold))
+        if peel.size == 0:  # defensive: averages guarantee progress
+            peel = np.flatnonzero(edge_alive)
+        if peel.size:
+            sigma_bound = max(sigma_bound, int(live_count[peel].max()))
+        # Ties broken by edge id: peel is already ascending.
+        edge_rank[peel] = next_rank + np.arange(peel.size)
+        next_rank += peel.size
+        edge_alive[peel] = False
+        removed_work = 0.0
+        for e in peel:
+            for ti in tri_of_edge[indptr[e] : indptr[e + 1]]:
+                removed_work += 1
+                if not tri_alive[ti]:
+                    continue
+                tri_alive[ti] = False
+                remaining_t -= 1
+                for other in tri_eids[ti]:
+                    live_count[other] -= 1
+        remaining_m -= peel.size
+        rounds += 1
+        tracker.charge(
+            Cost(float(peel.size) + removed_work + remaining_m + 2, 2 * log2p1(m) + 2)
+        )
+
+    return EdgeOrderResult(edge_rank=edge_rank, sigma=sigma_bound, num_rounds=rounds)

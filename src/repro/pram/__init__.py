@@ -1,0 +1,53 @@
+"""CREW-PRAM work/depth substrate: cost algebra, tracking, primitives,
+Brent scheduling simulation, and process-based execution."""
+
+from .cost import Cost, ZERO, par, par_for, seq
+from .executor import available_workers, chunk_indices, parallel_map_reduce
+from .primitives import (
+    log2p1,
+    phistogram,
+    pintersect_sorted,
+    ppack,
+    preduce,
+    pscan,
+    psort,
+)
+from .schedule import (
+    ScheduleResult,
+    TaskLog,
+    brent_time,
+    greedy_schedule,
+    simulate_loop,
+    speedup_curve,
+)
+from .tracker import NULL_TRACKER, ParallelRegion, Tracker
+from .workstealing import StealResult, simulate_work_stealing
+
+__all__ = [
+    "Cost",
+    "ZERO",
+    "seq",
+    "par",
+    "par_for",
+    "Tracker",
+    "ParallelRegion",
+    "NULL_TRACKER",
+    "log2p1",
+    "preduce",
+    "pscan",
+    "ppack",
+    "psort",
+    "pintersect_sorted",
+    "phistogram",
+    "brent_time",
+    "TaskLog",
+    "greedy_schedule",
+    "simulate_loop",
+    "speedup_curve",
+    "ScheduleResult",
+    "parallel_map_reduce",
+    "available_workers",
+    "chunk_indices",
+    "StealResult",
+    "simulate_work_stealing",
+]

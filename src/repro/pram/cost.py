@@ -1,0 +1,123 @@
+"""Work/depth cost algebra for the CREW PRAM model.
+
+The paper states its results in the work/depth model [Blelloch'96, Reif'93]:
+*work* is the total number of elementary operations over all processors,
+*depth* is the length of the critical path. An algorithm with work ``W`` and
+depth ``D`` runs on a ``p``-processor CREW PRAM in ``O(W/p + D)`` time steps
+(Brent's theorem).
+
+This module provides an immutable :class:`Cost` value with the two natural
+composition operators:
+
+* sequential composition ``a + b`` — work adds, depth adds;
+* parallel composition ``a | b`` — work adds, depth takes the maximum.
+
+Costs are plain numbers of abstract operations; the simulator in
+:mod:`repro.pram.schedule` turns them into simulated time steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Cost", "ZERO", "seq", "par", "par_for"]
+
+
+@dataclass(frozen=True)
+class Cost:
+    """An immutable (work, depth) pair of non-negative operation counts.
+
+    ``Cost`` values form two monoids: ``(+, ZERO)`` for sequential
+    composition and ``(|, ZERO)`` for parallel composition. ``work`` must
+    always dominate ``depth`` for a cost that describes a single
+    computation (a critical path is made of real operations); the class
+    does not enforce this because intermediate algebra (e.g. adding a
+    depth-only synchronisation charge) legitimately breaks it.
+    """
+
+    work: float = 0.0
+    depth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.depth < 0:
+            raise ValueError(
+                f"cost components must be non-negative, got ({self.work}, {self.depth})"
+            )
+
+    def __add__(self, other: "Cost") -> "Cost":
+        """Sequential composition: work adds, depth adds."""
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(self.work + other.work, self.depth + other.depth)
+
+    def __or__(self, other: "Cost") -> "Cost":
+        """Parallel composition: work adds, depth takes the maximum."""
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return Cost(self.work + other.work, max(self.depth, other.depth))
+
+    def __mul__(self, n: float) -> "Cost":
+        """Charge this cost ``n`` times *sequentially*."""
+        if not isinstance(n, (int, float)):
+            return NotImplemented
+        if n < 0:
+            raise ValueError("cannot repeat a cost a negative number of times")
+        return Cost(self.work * n, self.depth * n)
+
+    __rmul__ = __mul__
+
+    def spread(self, n: int) -> "Cost":
+        """Charge this cost ``n`` times *in parallel* (work × n, same depth)."""
+        if n < 0:
+            raise ValueError("cannot spread a cost over a negative count")
+        if n == 0:
+            return ZERO
+        return Cost(self.work * n, self.depth)
+
+    def time_on(self, p: int) -> float:
+        """Simulated time steps on a ``p``-processor CREW PRAM (Brent)."""
+        if p < 1:
+            raise ValueError(f"need at least one processor, got {p}")
+        return self.work / p + self.depth
+
+    def is_zero(self) -> bool:
+        return self.work == 0 and self.depth == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cost(work={self.work:g}, depth={self.depth:g})"
+
+
+ZERO = Cost(0.0, 0.0)
+
+
+def seq(*costs: Cost) -> Cost:
+    """Sequential composition of any number of costs."""
+    total = ZERO
+    for c in costs:
+        total = total + c
+    return total
+
+
+def par(*costs: Cost) -> Cost:
+    """Parallel composition of any number of costs."""
+    total = ZERO
+    for c in costs:
+        total = total | c
+    return total
+
+
+def par_for(n: int, body: Cost, spawn_depth: bool = True) -> Cost:
+    """Cost of a parallel loop of ``n`` identical iterations.
+
+    Work is ``n * body.work``; depth is the body depth plus, when
+    ``spawn_depth`` is set, an ``O(log n)`` fork/join term charged for
+    spawning the iterations on a binary spawn tree. This matches the usual
+    accounting for nested parallelism on a PRAM.
+    """
+    if n < 0:
+        raise ValueError("loop trip count must be non-negative")
+    if n == 0:
+        return ZERO
+    extra = math.ceil(math.log2(n + 1)) if spawn_depth else 0.0
+    return Cost(body.work * n, body.depth + extra)

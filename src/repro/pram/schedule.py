@@ -1,0 +1,114 @@
+"""Brent scheduling simulation: from (work, depth) to p-processor time.
+
+The paper reports wall-clock runtimes for 72 threads on a 2x18-core Xeon.
+In this reproduction the algorithms run sequentially under CPython, but
+every algorithm records its exact operation counts as a
+:class:`~repro.pram.cost.Cost`. This module converts those counts into
+simulated parallel runtimes:
+
+* :func:`brent_time` — the classic bound ``T_p = W/p + D``.
+* :class:`TaskLog` / :func:`greedy_schedule` — a finer-grained simulation
+  for a *flat* parallel loop whose tasks have heterogeneous costs (the
+  outer edge loop of Algorithm 1): tasks are placed on ``p`` simulated
+  processors by greedy list scheduling (longest-processing-time order),
+  which is a (4/3)-approximation of the optimal makespan and closely
+  matches an OpenMP ``dynamic`` schedule.
+* :func:`speedup_curve` — T_1 / T_p over a range of processor counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .cost import Cost
+
+__all__ = [
+    "brent_time",
+    "TaskLog",
+    "greedy_schedule",
+    "speedup_curve",
+    "ScheduleResult",
+]
+
+
+def brent_time(cost: Cost, p: int) -> float:
+    """Simulated time steps on ``p`` processors: ``W/p + D`` (Brent)."""
+    return cost.time_on(p)
+
+
+@dataclass
+class TaskLog:
+    """Record of the per-task costs of one flat parallel loop.
+
+    ``serial_prefix`` captures work that must run before the loop (e.g.
+    preprocessing) and is charged as ``W/p + D`` on top of the loop's
+    simulated makespan.
+    """
+
+    tasks: List[Cost] = field(default_factory=list)
+    serial_prefix: Cost = Cost(0.0, 0.0)
+
+    def add(self, cost: Cost) -> None:
+        self.tasks.append(cost)
+
+    @property
+    def total(self) -> Cost:
+        body = Cost(
+            sum(t.work for t in self.tasks),
+            max((t.depth for t in self.tasks), default=0.0),
+        )
+        return self.serial_prefix + body
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of a simulated schedule on ``p`` processors."""
+
+    p: int
+    makespan: float
+    busy_time: float
+    utilization: float
+
+
+def greedy_schedule(tasks: Sequence[Cost], p: int) -> ScheduleResult:
+    """Simulate LPT greedy list scheduling of independent tasks.
+
+    Each task occupies one processor for ``max(task.depth, task.work / 1)``
+    — on a single processor a task takes exactly its work; its depth only
+    matters as a lower bound if the task itself could be split, which a
+    flat loop's tasks cannot. The makespan therefore uses task *work* as
+    the processing time and reports utilisation against ``p * makespan``.
+    """
+    if p < 1:
+        raise ValueError(f"need at least one processor, got {p}")
+    times = sorted((t.work for t in tasks), reverse=True)
+    heap = [0.0] * p
+    heapq.heapify(heap)
+    for t in times:
+        earliest = heapq.heappop(heap)
+        heapq.heappush(heap, earliest + t)
+    makespan = max(heap) if heap else 0.0
+    busy = float(sum(times))
+    util = busy / (p * makespan) if makespan > 0 else 1.0
+    return ScheduleResult(p=p, makespan=makespan, busy_time=busy, utilization=util)
+
+
+def simulate_loop(log: TaskLog, p: int) -> float:
+    """Simulated runtime of a serial prefix followed by a parallel loop."""
+    prefix = log.serial_prefix.time_on(p)
+    body = greedy_schedule(log.tasks, p).makespan
+    return prefix + body
+
+
+def speedup_curve(
+    cost: Cost, processors: Iterable[int]
+) -> Dict[int, Tuple[float, float]]:
+    """Map each processor count to ``(T_p, speedup T_1/T_p)`` under Brent."""
+    t1 = cost.time_on(1)
+    out: Dict[int, Tuple[float, float]] = {}
+    for p in processors:
+        tp = cost.time_on(p)
+        out[p] = (tp, t1 / tp if tp > 0 else float("inf"))
+    return out

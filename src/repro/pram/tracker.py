@@ -1,0 +1,177 @@
+"""Scoped work/depth tracking for instrumented algorithms.
+
+Algorithms in this library take an optional :class:`Tracker` and charge
+:class:`~repro.pram.cost.Cost` values to it as they execute. The tracker
+supports *parallel regions*: inside ``with tracker.parallel():`` each
+``with region.task():`` block contributes its work additively but its depth
+only via the maximum over the region's tasks, mirroring the ``par``
+composition of the cost algebra. Sequential charges between regions add to
+both work and depth.
+
+Charges can also be attributed to named *phases* (e.g. ``"orientation"``,
+``"communities"``, ``"search"``) so the benchmark harness can break total
+cost down the way the paper's analysis does.
+
+A tracker can be disabled (``Tracker(enabled=False)``) in which case every
+operation is a cheap no-op; the module-level :data:`NULL_TRACKER` is a
+shared disabled instance that algorithms use as their default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from .cost import Cost, ZERO
+
+__all__ = ["Tracker", "ParallelRegion", "NULL_TRACKER"]
+
+
+class ParallelRegion:
+    """Accumulates the cost of the tasks of one parallel region.
+
+    Work adds over the tasks; depth is the maximum task depth. The region's
+    combined cost is charged to the parent scope when the region closes.
+    """
+
+    def __init__(self, tracker: "Tracker") -> None:
+        self._tracker = tracker
+        self._work = 0.0
+        self._max_depth = 0.0
+        self._open = True
+
+    @contextmanager
+    def task(self) -> Iterator[None]:
+        """One conceptually-parallel task; nested charges fold into it."""
+        if not self._open:
+            raise RuntimeError("parallel region already closed")
+        self._tracker._push_scope()
+        try:
+            yield
+        finally:
+            cost = self._tracker._pop_scope()
+            self._work += cost.work
+            self._max_depth = max(self._max_depth, cost.depth)
+
+    def add_task_cost(self, cost: Cost) -> None:
+        """Charge a whole task given directly as a cost (no context block)."""
+        if not self._open:
+            raise RuntimeError("parallel region already closed")
+        self._work += cost.work
+        self._max_depth = max(self._max_depth, cost.depth)
+
+    def _close(self) -> Cost:
+        self._open = False
+        return Cost(self._work, self._max_depth)
+
+
+class Tracker:
+    """Scoped accumulator of work/depth with named-phase attribution."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        # Stack of (work, depth) accumulators; the bottom entry is the total.
+        self._stack: List[List[float]] = [[0.0, 0.0]]
+        self._phase_totals: Dict[str, Cost] = {}
+        self._phase_stack: List[str] = []
+
+    # -- charging ---------------------------------------------------------
+
+    def charge(self, cost: Cost) -> None:
+        """Sequentially charge ``cost`` to the current scope."""
+        if not self.enabled or cost.is_zero():
+            return
+        top = self._stack[-1]
+        top[0] += cost.work
+        top[1] += cost.depth
+        if self._phase_stack:
+            name = self._phase_stack[-1]
+            self._phase_totals[name] = self._phase_totals.get(name, ZERO) + cost
+
+    def charge_ops(self, work: float, depth: Optional[float] = None) -> None:
+        """Shorthand for :meth:`charge` with plain numbers.
+
+        When ``depth`` is omitted the charge is a purely sequential block
+        of ``work`` operations (depth equals work).
+        """
+        if not self.enabled:
+            return
+        self.charge(Cost(work, work if depth is None else depth))
+
+    # -- scoping ----------------------------------------------------------
+
+    def _push_scope(self) -> None:
+        self._stack.append([0.0, 0.0])
+
+    def _pop_scope(self) -> Cost:
+        work, depth = self._stack.pop()
+        return Cost(work, depth)
+
+    @contextmanager
+    def parallel(self) -> Iterator[ParallelRegion]:
+        """Open a parallel region; tasks inside combine with ``par``."""
+        if not self.enabled:
+            yield ParallelRegion(_NULL)
+            return
+        region = ParallelRegion(self)
+        try:
+            yield region
+        finally:
+            self.charge(region._close())
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute charges made inside the block to phase ``name``."""
+        if not self.enabled:
+            yield
+            return
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def total(self) -> Cost:
+        """Total cost charged so far (outermost scope)."""
+        return Cost(self._stack[0][0], self._stack[0][1])
+
+    @property
+    def work(self) -> float:
+        return self._stack[0][0]
+
+    @property
+    def depth(self) -> float:
+        return self._stack[0][1]
+
+    @property
+    def phases(self) -> Dict[str, Cost]:
+        """Per-phase cost totals (only phases that received charges)."""
+        return dict(self._phase_totals)
+
+    def time_on(self, p: int) -> float:
+        """Brent-simulated time on ``p`` processors."""
+        return self.total.time_on(p)
+
+    def reset(self) -> None:
+        if len(self._stack) != 1:
+            raise RuntimeError("cannot reset a tracker with open scopes")
+        self._stack = [[0.0, 0.0]]
+        self._phase_totals = {}
+        self._phase_stack = []
+
+
+class _NullTracker(Tracker):
+    """Disabled tracker used as the default argument of instrumented code."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def reset(self) -> None:  # pragma: no cover - nothing to reset
+        pass
+
+
+_NULL = _NullTracker()
+NULL_TRACKER: Tracker = _NULL

@@ -1,0 +1,12 @@
+"""Triangle enumeration and edge-community construction."""
+
+from .communities import EdgeCommunities, build_communities
+from .count import count_triangles, list_triangles, per_edge_triangle_counts
+
+__all__ = [
+    "EdgeCommunities",
+    "build_communities",
+    "count_triangles",
+    "list_triangles",
+    "per_edge_triangle_counts",
+]

@@ -1,0 +1,83 @@
+"""Triangle listing and counting on oriented DAGs.
+
+The standard O(m·s̃)-work, O(log² n)-depth oriented enumeration
+[Shi et al.'20, Chiba–Nishizeki'85]: for each directed edge ``(u, w)``
+intersect ``N⁺(u)`` with ``N⁺(w)``; every completion vertex ``v`` yields
+the triangle ``u < w < v`` exactly once. Triangles are reported with their
+DAG roles: ``(u, w, v)`` where ``(u, v)`` is the *supporting* edge (first
+and last vertex in the order) and ``w`` the community member.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.digraph import OrientedDAG
+from ..pram.cost import Cost
+from ..pram.primitives import log2p1
+from ..pram.tracker import NULL_TRACKER, Tracker
+
+__all__ = ["list_triangles", "count_triangles", "per_edge_triangle_counts"]
+
+
+def list_triangles(
+    dag: OrientedDAG, tracker: Tracker = NULL_TRACKER
+) -> np.ndarray:
+    """All triangles as an (T, 3) array of rows ``(u, w, v)``, ``u < w < v``.
+
+    Charges O(m·s̃) work and O(log² n) depth.
+    """
+    n = dag.num_vertices
+    rows = []
+    work = 0.0
+    for u in range(n):
+        out_u = dag.out_neighbors(u)
+        du = out_u.size
+        if du < 2:
+            work += du
+            continue
+        for w in out_u[:-1]:
+            out_w = dag.out_neighbors(int(w))
+            work += du + out_w.size
+            if out_w.size == 0:
+                continue
+            common = np.intersect1d(out_u, out_w, assume_unique=True)
+            if common.size:
+                tri = np.empty((common.size, 3), dtype=np.int32)
+                tri[:, 0] = u
+                tri[:, 1] = w
+                tri[:, 2] = common
+                rows.append(tri)
+    tracker.charge(Cost(work + dag.num_edges + n, 2 * log2p1(n) ** 2 + 2))
+    if not rows:
+        return np.empty((0, 3), dtype=np.int32)
+    return np.concatenate(rows, axis=0)
+
+
+def count_triangles(dag: OrientedDAG, tracker: Tracker = NULL_TRACKER) -> int:
+    """Total number of triangles (same cost as listing)."""
+    return int(list_triangles(dag, tracker=tracker).shape[0])
+
+
+def per_edge_triangle_counts(
+    dag: OrientedDAG, tracker: Tracker = NULL_TRACKER
+) -> np.ndarray:
+    """|C(e)| for every directed edge id of ``dag``.
+
+    ``counts[eid]`` is the size of the community of the edge with dense id
+    ``eid`` — the number of triangles the edge *supports* (i.e. for which
+    it connects the first and last vertex of the total order).
+    """
+    tri = list_triangles(dag, tracker=tracker)
+    m = dag.num_edges
+    counts = np.zeros(m, dtype=np.int64)
+    if tri.shape[0] == 0:
+        return counts
+    eids = np.fromiter(
+        (dag.edge_id(int(u), int(v)) for u, v in zip(tri[:, 0], tri[:, 2])),
+        dtype=np.int64,
+        count=tri.shape[0],
+    )
+    np.add.at(counts, eids, 1)
+    tracker.charge(Cost(float(tri.shape[0]) * (log2p1(dag.max_out_degree) + 1), log2p1(tri.shape[0]) + 1))
+    return counts

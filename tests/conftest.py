@@ -1,0 +1,76 @@
+"""Shared fixtures and oracle helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+)
+
+
+def nx_graph(graph: CSRGraph):
+    """Convert a CSRGraph to a networkx Graph (oracle use only)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    us, vs = graph.edge_array()
+    g.add_edges_from(zip(us.tolist(), vs.tolist()))
+    return g
+
+
+def nx_clique_count(graph: CSRGraph, k: int) -> int:
+    """Count k-cliques via networkx.enumerate_all_cliques."""
+    import networkx as nx
+
+    return sum(
+        1 for c in nx.enumerate_all_cliques(nx_graph(graph)) if len(c) == k
+    )
+
+
+def random_graph_suite():
+    """A deterministic batch of small random graphs for exact checks."""
+    suite = []
+    for seed, (n, m) in enumerate(
+        [(8, 12), (12, 30), (16, 50), (20, 80), (25, 120), (30, 160)]
+    ):
+        suite.append(gnm_random_graph(n, m, seed=seed * 7 + 1))
+    return suite
+
+
+@pytest.fixture(scope="session")
+def small_random_graphs():
+    return random_graph_suite()
+
+
+@pytest.fixture(scope="session")
+def petersen():
+    """The Petersen graph: vertex-transitive, triangle-free."""
+    edges = [(i, (i + 1) % 5) for i in range(5)]
+    edges += [(i + 5, ((i + 2) % 5) + 5) for i in range(5)]
+    edges += [(i, i + 5) for i in range(5)]
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=10)
+
+
+@pytest.fixture(scope="session")
+def k6():
+    return complete_graph(6)
+
+
+@pytest.fixture(scope="session")
+def chain4x6():
+    return clique_chain(4, 6, overlap=2)
+
+
+@pytest.fixture
+def empty10():
+    return empty_graph(10)

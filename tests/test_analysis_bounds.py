@@ -1,0 +1,77 @@
+"""Unit tests for the Table-1 closed-form bound evaluators."""
+
+import pytest
+
+from repro.analysis import (
+    BoundInputs,
+    all_work_bounds,
+    depth_best,
+    depth_best_depth,
+    depth_hybrid,
+    pruning_gain,
+    work_best,
+    work_best_depth,
+    work_cd_best,
+    work_kclist,
+)
+
+
+def inputs(**kw):
+    base = dict(n=1000, m=5000, k=8, s=50, sigma=20, eps=0.5)
+    base.update(kw)
+    return BoundInputs(**base)
+
+
+class TestFormulas:
+    def test_best_work_below_kclist(self):
+        # (s+3-k)/2 < s/2 for k > 3: our bound must be smaller.
+        p = inputs()
+        assert work_best(p) < work_kclist(p)
+
+    def test_improvement_grows_with_k(self):
+        gains = [pruning_gain(inputs(k=k)) for k in (6, 10, 20, 40)]
+        assert gains == sorted(gains)
+
+    def test_exponential_gain_when_k_theta_s(self):
+        # k = s/2: gain should be exponential in k.
+        p = inputs(k=25, s=50)
+        assert pruning_gain(p) > 2 ** (25 / 2)
+
+    def test_best_depth_work_larger_than_best_work(self):
+        p = inputs()
+        assert work_best_depth(p) > work_best(p)
+
+    def test_cd_bound_beats_degeneracy_bound_when_sigma_small(self):
+        p = inputs(sigma=5, s=50, k=10)
+        assert work_cd_best(p) < work_best(p)
+
+    def test_all_bounds_positive(self):
+        for name, value in all_work_bounds(inputs()).items():
+            assert value > 0, name
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            BoundInputs(n=-1, m=0, k=4, s=2)
+
+
+class TestDepthFormulas:
+    def test_ordering_of_depths(self):
+        p = inputs(n=10**6, s=100, k=8)
+        # best-depth < hybrid < best-work for large n.
+        assert depth_best_depth(p) < depth_hybrid(p) < depth_best(p)
+
+    def test_best_depth_polylog(self):
+        p = inputs(n=10**6)
+        assert depth_best_depth(p) < 10**4
+
+
+class TestGuardedPower:
+    def test_base_clamped_at_one(self):
+        # k > s + 3: the base would be negative; bound stays >= m*k.
+        p = inputs(k=60, s=50)
+        assert work_best(p) >= p.m
+
+    def test_k_equals_4(self):
+        p = inputs(k=4)
+        expected = 4 * p.m * ((p.s - 1) / 2) ** 2
+        assert work_best(p) == pytest.approx(expected)

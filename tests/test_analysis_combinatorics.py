@@ -1,0 +1,88 @@
+"""Unit tests for the numeric validators of the paper's lemmas (§3, §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_lemma_2_2,
+    check_lemma_3_1,
+    check_lemma_4_4,
+    check_observation3,
+    check_observation4,
+    check_observation5,
+)
+from repro.graphs import (
+    complete_graph,
+    gnm_random_graph,
+    hypercube_graph,
+    orient_by_order,
+)
+
+
+def ident_dag(g):
+    return orient_by_order(g, np.arange(g.num_vertices))
+
+
+class TestObservations:
+    @pytest.mark.parametrize("size,c", [(0, 0), (5, 2), (10, 0), (10, 9), (12, 3)])
+    def test_observation3(self, size, c):
+        counted, formula = check_observation3(size, c)
+        assert counted == formula
+
+    @pytest.mark.parametrize("size,c", [(0, 0), (6, 2), (9, 0), (9, 8), (14, 5)])
+    def test_observation4(self, size, c):
+        enumerated, formula = check_observation4(size, c)
+        assert enumerated == formula
+
+
+class TestLemma22:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("c", [2, 3, 4])
+    def test_inequality_random(self, seed, c):
+        g = gnm_random_graph(25, 110, seed=seed)
+        lhs, rhs = check_lemma_2_2(ident_dag(g), c)
+        assert lhs <= rhs + 1e-9
+
+    def test_complete_graph(self):
+        lhs, rhs = check_lemma_2_2(ident_dag(complete_graph(10)), 3)
+        assert lhs <= rhs
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            check_lemma_2_2(ident_dag(complete_graph(5)), 1)
+
+
+class TestLemma31:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_inequality_random(self, seed):
+        g = gnm_random_graph(25, 110, seed=seed + 50)
+        lhs, rhs = check_lemma_3_1(ident_dag(g), 2)
+        assert lhs <= rhs + 1e-9
+
+    def test_lemma31_not_weaker_than_lemma22_on_small_gamma(self):
+        # With gamma << n, Lemma 3.1's RHS is the tighter of the two.
+        g = gnm_random_graph(40, 120, seed=9)
+        dag = ident_dag(g)
+        _, rhs22 = check_lemma_2_2(dag, 2)
+        _, rhs31 = check_lemma_3_1(dag, 2)
+        assert rhs31 <= rhs22 + 1e-9
+
+
+class TestObservation5:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangles_at_most_sigma_m(self, seed):
+        g = gnm_random_graph(30, 140, seed=seed)
+        t, bound = check_observation5(g)
+        assert t <= bound
+
+    def test_triangle_free(self):
+        t, bound = check_observation5(hypercube_graph(3))
+        assert t == 0 and bound == 0
+
+
+class TestLemma44:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_candidate_bound(self, seed):
+        g = gnm_random_graph(35, 160, seed=seed)
+        max_cand, bound = check_lemma_4_4(g, eps=0.5)
+        assert max_cand <= bound + 1e-9

@@ -1,0 +1,83 @@
+"""Unit tests for the extremal clique-count bounds."""
+
+import pytest
+
+from repro.analysis import (
+    eppstein_maximal_clique_bound,
+    hardness_profile,
+    max_clique_size_bound,
+    per_size_clique_bound,
+    wood_total_clique_bound,
+)
+from repro.baselines import brute_force_count, maximal_cliques
+from repro.core import clique_spectrum
+from repro.graphs import complete_graph, empty_graph, gnm_random_graph
+from repro.orders import degeneracy_order
+
+
+class TestWoodBound:
+    def test_complete_graph_tight_regime(self):
+        # K_n: degeneracy n-1, 2^n - 1 cliques; bound = 2·2^{n-1} = 2^n.
+        n = 8
+        total = sum(clique_spectrum(complete_graph(n)).values())
+        assert total == 2**n - 1
+        assert total <= wood_total_clique_bound(n, n - 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_within_bound(self, seed):
+        g = gnm_random_graph(25, 130, seed=seed)
+        s = degeneracy_order(g).degeneracy
+        total = sum(clique_spectrum(g).values())
+        assert total <= wood_total_clique_bound(25, s)
+
+    def test_empty(self):
+        assert wood_total_clique_bound(0, 0) == 0.0
+
+
+class TestSizeBounds:
+    def test_max_clique_bound_holds(self):
+        for seed in range(4):
+            g = gnm_random_graph(30, 170, seed=seed)
+            s = degeneracy_order(g).degeneracy
+            from repro.core import max_clique_size
+
+            assert max_clique_size(g) <= max_clique_size_bound(s)
+
+    def test_negative_degeneracy_rejected(self):
+        with pytest.raises(ValueError):
+            max_clique_size_bound(-1)
+
+    def test_per_size_bound_holds(self):
+        g = gnm_random_graph(30, 170, seed=9)
+        s = degeneracy_order(g).degeneracy
+        for k in range(1, 7):
+            assert brute_force_count(g, k) <= per_size_clique_bound(30, s, k)
+
+    def test_per_size_zero_beyond_s_plus_1(self):
+        assert per_size_clique_bound(100, 5, 7) == 0.0
+
+    def test_per_size_invalid_k(self):
+        with pytest.raises(ValueError):
+            per_size_clique_bound(10, 3, 0)
+
+
+class TestEppsteinBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_maximal_cliques_within_bound(self, seed):
+        g = gnm_random_graph(25, 140, seed=seed)
+        s = degeneracy_order(g).degeneracy
+        assert len(maximal_cliques(g)) <= eppstein_maximal_clique_bound(25, s)
+
+
+class TestHardnessProfile:
+    def test_contains_all_envelopes(self):
+        g = gnm_random_graph(20, 80, seed=1)
+        profile = hardness_profile(g, k=5)
+        assert {"degeneracy", "max_clique_size_bound", "wood_total_cliques"} <= set(
+            profile
+        )
+        assert "cliques_of_size_5" in profile
+
+    def test_empty_graph(self):
+        profile = hardness_profile(empty_graph(0))
+        assert profile["degeneracy"] == 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for graph statistics (Table-2 style summaries)."""
+
+import pytest
+
+from repro.analysis import arboricity_bounds, graph_summary
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    hypercube_graph,
+)
+
+
+class TestSummary:
+    def test_complete_graph(self):
+        s = graph_summary(complete_graph(6), "k6", with_sigma=True, with_omega=True)
+        assert s.num_vertices == 6
+        assert s.num_edges == 15
+        assert s.num_triangles == 20
+        assert s.degeneracy == 5
+        assert s.community_degeneracy == 4
+        assert s.clique_number == 6
+
+    def test_ratios(self):
+        s = graph_summary(gnm_random_graph(100, 400, seed=1), "g")
+        assert s.edges_per_vertex == pytest.approx(4.0)
+        assert s.triangles_per_edge == pytest.approx(s.num_triangles / 400)
+
+    def test_triangle_free(self):
+        s = graph_summary(hypercube_graph(4), "q4", with_sigma=True)
+        assert s.num_triangles == 0
+        assert s.community_degeneracy == 0
+
+    def test_empty_graph(self):
+        s = graph_summary(empty_graph(5), "empty")
+        assert s.num_edges == 0
+        assert s.degeneracy == 0
+        assert s.triangles_per_edge == 0.0
+
+    def test_optional_fields_default_none(self):
+        s = graph_summary(complete_graph(4), "k4")
+        assert s.community_degeneracy is None
+        assert s.clique_number is None
+
+    def test_row_and_header_align(self):
+        s = graph_summary(complete_graph(4), "k4")
+        assert len(s.row()) > 0
+        assert s.header().split()[0] == "Graph"
+
+
+class TestArboricity:
+    def test_bounds_bracket_known_value(self):
+        # K_6 has arboricity ceil(6/2) = 3.
+        lo, hi = arboricity_bounds(complete_graph(6))
+        assert lo <= 3 <= hi
+
+    def test_tree_arboricity_one(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        lo, hi = arboricity_bounds(g)
+        assert lo == 1
+        assert hi >= 1
+
+    def test_bounds_consistent(self):
+        for seed in range(4):
+            g = gnm_random_graph(40, 150 + seed * 20, seed=seed)
+            lo, hi = arboricity_bounds(g)
+            assert 1 <= lo <= hi
+
+    def test_empty(self):
+        lo, hi = arboricity_bounds(empty_graph(4))
+        assert (lo, hi) == (0, 0)

@@ -1,0 +1,149 @@
+"""Unit tests for the baseline algorithms (kClist, ArbCount, Chiba–Nishizeki,
+Bron–Kerbosch, brute force)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    arbcount_count,
+    brute_force_count,
+    brute_force_list,
+    chiba_nishizeki_count,
+    clique_number,
+    kclist_count,
+    maximal_cliques,
+    maximum_clique,
+)
+from repro.graphs import (
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    gnm_random_graph,
+    hypercube_graph,
+    turan_graph,
+)
+from repro.pram.tracker import Tracker
+from tests.conftest import nx_graph
+
+
+class TestKclist:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_matches_oracle(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            assert kclist_count(g, k).count == brute_force_count(g, k)
+
+    def test_complete_graph(self):
+        g = complete_graph(9)
+        for k in (4, 7, 9):
+            assert kclist_count(g, k).count == math.comb(9, k)
+
+    def test_listing(self):
+        g = gnm_random_graph(20, 90, seed=1)
+        res = kclist_count(g, 4, collect=True)
+        assert sorted(res.cliques) == sorted(brute_force_list(g, 4))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kclist_count(complete_graph(3), 0)
+
+    def test_cost_tracked(self):
+        tr = Tracker()
+        kclist_count(gnm_random_graph(30, 150, seed=2), 4, tracker=tr)
+        assert tr.work > 0 and tr.depth > 0
+
+
+class TestArbcount:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_oracle(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            assert arbcount_count(g, k).count == brute_force_count(g, k)
+
+    def test_eps_sensitivity(self):
+        g = gnm_random_graph(25, 120, seed=3)
+        expected = brute_force_count(g, 4)
+        for eps in (0.1, 0.5, 2.0):
+            assert arbcount_count(g, 4, eps=eps).count == expected
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            arbcount_count(complete_graph(4), 4, eps=0.0)
+
+    def test_lower_depth_than_kclist(self):
+        g = gnm_random_graph(400, 2000, seed=4)
+        t_k, t_a = Tracker(), Tracker()
+        kclist_count(g, 4, tracker=t_k)
+        arbcount_count(g, 4, tracker=t_a)
+        assert t_a.depth < t_k.depth  # polylog peel vs Θ(n) peel
+
+
+class TestChibaNishizeki:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_matches_oracle(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            assert chiba_nishizeki_count(g, k).count == brute_force_count(g, k)
+
+    def test_listing(self):
+        g = gnm_random_graph(18, 70, seed=5)
+        res = chiba_nishizeki_count(g, 4, collect=True)
+        assert sorted(res.cliques) == sorted(brute_force_list(g, 4))
+
+    def test_graph_restored_after_run(self):
+        # The procedure mutates then restores its adjacency sets; a second
+        # run must see the same graph.
+        g = gnm_random_graph(20, 80, seed=6)
+        a = chiba_nishizeki_count(g, 4).count
+        b = chiba_nishizeki_count(g, 4).count
+        assert a == b
+
+    def test_sequential_depth(self):
+        tr = Tracker()
+        chiba_nishizeki_count(gnm_random_graph(20, 80, seed=6), 4, tracker=tr)
+        assert tr.depth == pytest.approx(tr.work, rel=0.5)
+
+
+class TestBronKerbosch:
+    def test_matches_networkx(self, small_random_graphs):
+        import networkx as nx
+
+        for g in small_random_graphs:
+            ours = sorted(maximal_cliques(g))
+            theirs = sorted(tuple(sorted(c)) for c in nx.find_cliques(nx_graph(g)))
+            assert ours == theirs
+
+    def test_clique_number_known(self):
+        assert clique_number(complete_graph(7)) == 7
+        assert clique_number(turan_graph(12, 4)) == 4
+        assert clique_number(hypercube_graph(3)) == 2
+        assert clique_number(empty_graph(0)) == 0
+
+    def test_maximum_clique_is_clique(self):
+        import itertools
+
+        g = gnm_random_graph(30, 200, seed=7)
+        best = maximum_clique(g)
+        assert len(best) == clique_number(g)
+        for a, b in itertools.combinations(best, 2):
+            assert g.has_edge(a, b)
+
+    def test_isolated_vertices_are_maximal(self):
+        g = empty_graph(3)
+        assert sorted(maximal_cliques(g)) == [(0,), (1,), (2,)]
+
+
+class TestBruteForce:
+    def test_k1(self):
+        assert brute_force_count(empty_graph(4), 1) == 4
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            brute_force_count(empty_graph(4), 0)
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            brute_force_count(empty_graph(100), 3)
+
+    def test_chain(self):
+        g = clique_chain(2, 4, overlap=0)
+        assert brute_force_count(g, 4) == 2

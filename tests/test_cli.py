@@ -1,0 +1,100 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import gnm_random_graph, save_npz, write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    g = gnm_random_graph(25, 110, seed=1)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    return str(path), g
+
+
+class TestStats:
+    def test_stats_on_file(self, edge_file, capsys):
+        path, g = edge_file
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert str(g.num_edges) in out
+
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "bio-sc-ht"]) == 0
+        assert "bio-sc-ht" in capsys.readouterr().out
+
+    def test_stats_with_sigma(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main(["stats", path, "--sigma"]) == 0
+
+
+class TestCount:
+    def test_count_matches_library(self, edge_file, capsys):
+        from repro import count_cliques
+
+        path, g = edge_file
+        assert main(["count", path, "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert f"4-cliques: {count_cliques(g, 4).count}" in out
+
+    def test_count_with_cost(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main(["count", path, "-k", "4", "--cost"]) == 0
+        out = capsys.readouterr().out
+        assert "work" in out and "T_72" in out
+
+    def test_count_variant(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main(["count", path, "-k", "4", "--variant", "cd-best-work"]) == 0
+
+    def test_npz_input(self, tmp_path, capsys):
+        g = gnm_random_graph(15, 40, seed=2)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert main(["count", str(path), "-k", "3"]) == 0
+
+
+class TestList:
+    def test_list_output(self, edge_file, capsys):
+        from repro import list_cliques
+
+        path, g = edge_file
+        assert main(["list", path, "-k", "4"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == len(list_cliques(g, 4))
+
+    def test_list_limit(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main(["list", path, "-k", "3", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) <= 2
+
+
+class TestOtherCommands:
+    def test_spectrum(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main(["spectrum", path]) == 0
+        assert "#cliques" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "chebyshev4" in out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "bio-sc-ht", "-k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "c3list" in out and "kclist" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/file.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_k(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main(["count", path, "-k", "0"]) == 1

@@ -1,0 +1,53 @@
+"""Unit tests for the public API façade."""
+
+import pytest
+
+from repro import VARIANTS, count_cliques, has_clique, list_cliques
+from repro.baselines import brute_force_count, brute_force_list
+from repro.graphs import clique_chain, complete_graph, empty_graph, gnm_random_graph
+from repro.pram.tracker import Tracker
+
+
+class TestCountCliques:
+    def test_default_variant(self):
+        g = gnm_random_graph(20, 80, seed=1)
+        assert count_cliques(g, 4).count == brute_force_count(g, 4)
+
+    def test_external_tracker_filled(self):
+        g = gnm_random_graph(20, 80, seed=1)
+        tr = Tracker()
+        count_cliques(g, 4, tracker=tr)
+        assert tr.work > 0
+
+    def test_result_has_cliques_none_in_count_mode(self):
+        g = complete_graph(6)
+        assert count_cliques(g, 4).cliques is None
+
+    def test_all_variants_reachable(self):
+        g = gnm_random_graph(18, 70, seed=2)
+        expected = brute_force_count(g, 4)
+        for v in VARIANTS:
+            assert count_cliques(g, 4, variant=v).count == expected
+
+
+class TestListCliques:
+    def test_returns_sorted_tuples(self):
+        g = clique_chain(2, 5, overlap=1)
+        cliques = list_cliques(g, 4)
+        assert all(tuple(sorted(c)) == c for c in cliques)
+        assert sorted(cliques) == sorted(brute_force_list(g, 4))
+
+    def test_empty_result(self):
+        assert list_cliques(empty_graph(5), 4) == []
+
+
+class TestHasClique:
+    def test_positive(self):
+        assert has_clique(complete_graph(5), 5)
+
+    def test_negative(self):
+        assert not has_clique(complete_graph(5), 6)
+
+    def test_docstring_example(self):
+        g = clique_chain(3, 6)
+        assert count_cliques(g, 4).count == 45  # 3 * C(6,4)

@@ -1,0 +1,144 @@
+"""Unit tests for Algorithm 1 (community-centric clique listing)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_count, brute_force_list
+from repro.core.clique_listing import count_cliques_on_dag
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    hypercube_graph,
+    orient_by_order,
+)
+from repro.pram.tracker import Tracker
+
+
+def ident_dag(g):
+    return orient_by_order(g, np.arange(g.num_vertices))
+
+
+class TestTrivialSizes:
+    def test_k1_counts_vertices(self):
+        g = gnm_random_graph(15, 40, seed=1)
+        res = count_cliques_on_dag(ident_dag(g), 1, Tracker())
+        assert res.count == 15
+
+    def test_k2_counts_edges(self):
+        g = gnm_random_graph(15, 40, seed=1)
+        res = count_cliques_on_dag(ident_dag(g), 2, Tracker())
+        assert res.count == 40
+
+    def test_k3_counts_triangles(self):
+        g = gnm_random_graph(20, 90, seed=2)
+        res = count_cliques_on_dag(ident_dag(g), 3, Tracker())
+        assert res.count == brute_force_count(g, 3)
+
+    def test_k_zero_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError):
+            count_cliques_on_dag(ident_dag(g), 0, Tracker())
+
+
+class TestCounting:
+    @pytest.mark.parametrize("k", [4, 5, 6, 7])
+    def test_matches_brute_force(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            expected = brute_force_count(g, k)
+            res = count_cliques_on_dag(ident_dag(g), k, Tracker())
+            assert res.count == expected
+
+    def test_complete_graph_binomials(self):
+        import math
+
+        g = complete_graph(10)
+        dag = ident_dag(g)
+        for k in range(4, 11):
+            res = count_cliques_on_dag(dag, k, Tracker())
+            assert res.count == math.comb(10, k)
+
+    def test_no_cliques_beyond_omega(self):
+        g = complete_graph(5)
+        res = count_cliques_on_dag(ident_dag(g), 6, Tracker())
+        assert res.count == 0
+
+    def test_triangle_free_graph(self):
+        g = hypercube_graph(4)
+        res = count_cliques_on_dag(ident_dag(g), 4, Tracker())
+        assert res.count == 0
+
+    def test_empty_graph(self):
+        res = count_cliques_on_dag(ident_dag(empty_graph(6)), 4, Tracker())
+        assert res.count == 0
+
+    def test_count_independent_of_order(self):
+        g = gnm_random_graph(30, 140, seed=3)
+        expected = brute_force_count(g, 4)
+        for seed in range(3):
+            order = np.random.default_rng(seed).permutation(30)
+            dag = orient_by_order(g, order)
+            assert count_cliques_on_dag(dag, 4, Tracker()).count == expected
+
+
+class TestListing:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_listing_matches_oracle(self, k):
+        g = gnm_random_graph(22, 100, seed=4)
+        res = count_cliques_on_dag(ident_dag(g), k, Tracker(), collect=True)
+        assert sorted(res.cliques) == sorted(brute_force_list(g, k))
+
+    def test_each_clique_exactly_once(self):
+        g = gnm_random_graph(25, 130, seed=5)
+        res = count_cliques_on_dag(ident_dag(g), 4, Tracker(), collect=True)
+        assert len(res.cliques) == len(set(res.cliques))
+
+    def test_listed_cliques_are_cliques(self):
+        g = gnm_random_graph(25, 130, seed=5)
+        res = count_cliques_on_dag(ident_dag(g), 4, Tracker(), collect=True)
+        for clique in res.cliques:
+            for a, b in itertools.combinations(clique, 2):
+                assert g.has_edge(a, b)
+
+    def test_listing_maps_back_to_original_ids(self):
+        g = gnm_random_graph(25, 130, seed=6)
+        order = np.random.default_rng(7).permutation(25)
+        dag = orient_by_order(g, order)
+        res = count_cliques_on_dag(dag, 4, Tracker(), collect=True)
+        assert sorted(res.cliques) == sorted(brute_force_list(g, 4))
+
+
+class TestInstrumentation:
+    def test_result_carries_cost(self):
+        g = gnm_random_graph(30, 150, seed=8)
+        res = count_cliques_on_dag(ident_dag(g), 4, Tracker())
+        assert res.cost.work > 0
+        assert res.cost.depth > 0
+        assert res.cost.work >= res.cost.depth
+
+    def test_simulated_time_monotone(self):
+        g = gnm_random_graph(30, 150, seed=8)
+        res = count_cliques_on_dag(ident_dag(g), 4, Tracker())
+        ts = [res.simulated_time(p) for p in (1, 2, 8, 72)]
+        assert ts == sorted(ts, reverse=True)
+
+    def test_phases_present(self):
+        g = gnm_random_graph(30, 150, seed=8)
+        res = count_cliques_on_dag(ident_dag(g), 5, Tracker())
+        assert "communities" in res.phases
+        assert "search" in res.phases
+
+    def test_task_log_tracks_eligible_edges(self):
+        g = complete_graph(8)
+        res = count_cliques_on_dag(ident_dag(g), 4, Tracker())
+        # eligible edges: those with community >= 2 members
+        assert len(res.task_log.tasks) > 0
+        assert res.count == 70
+
+    def test_gamma_reported(self):
+        g = complete_graph(8)
+        res = count_cliques_on_dag(ident_dag(g), 4, Tracker())
+        assert res.gamma == 6

@@ -1,0 +1,113 @@
+"""Dedicated tests for Algorithm 3's internals (restricted subproblems)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_count, brute_force_list
+from repro.core.community_variant import (
+    count_cliques_community_order,
+    restricted_candidate_subgraph,
+)
+from repro.graphs import complete_graph, from_edges, gnm_random_graph
+from repro.orders import (
+    approx_community_order,
+    community_degeneracy_order,
+    undirected_edge_ids,
+)
+from repro.pram.tracker import Tracker
+
+
+class TestRestrictedSubgraph:
+    def test_keeps_only_late_edges(self):
+        g = complete_graph(5)
+        us, vs, codes = undirected_edge_ids(g)
+        # Rank edges by id; restrict to ranks >= 5.
+        rank = np.arange(g.num_edges)
+        members = np.array([1, 2, 3, 4], dtype=np.int32)
+        sub = restricted_candidate_subgraph(g, members, rank, codes, 5)
+        # Edges of K5 among {1,2,3,4} with id-rank >= 5: ids of (1,2).. etc.
+        # edge ids in lexicographic order: (0,1)=0,(0,2)=1,(0,3)=2,(0,4)=3,
+        # (1,2)=4,(1,3)=5,(1,4)=6,(2,3)=7,(2,4)=8,(3,4)=9.
+        # rank >= 5 keeps (1,3),(1,4),(2,3),(2,4),(3,4) -> 5 edges.
+        assert sub.num_edges == 5
+        assert not sub.has_edge(0, 1)  # local (1,2) had rank 4: dropped
+
+    def test_zero_threshold_keeps_all(self):
+        g = gnm_random_graph(15, 50, seed=1)
+        us, vs, codes = undirected_edge_ids(g)
+        rank = np.arange(g.num_edges)
+        members = np.arange(15, dtype=np.int32)
+        sub = restricted_candidate_subgraph(g, members, rank, codes, 0)
+        assert sub.num_edges == g.num_edges
+
+    def test_empty_members(self):
+        g = gnm_random_graph(10, 20, seed=2)
+        _, _, codes = undirected_edge_ids(g)
+        sub = restricted_candidate_subgraph(
+            g, np.array([], dtype=np.int32), np.arange(20), codes, 0
+        )
+        assert sub.num_vertices == 0
+
+
+class TestExactlyOnceSemantics:
+    def test_the_double_count_regression(self):
+        # Minimal instance of the bug the restricted subgraph fixes: a
+        # K4 whose edge order makes two different edges "locally minimal".
+        # Any order on K4's 6 edges must still count the clique once.
+        g = complete_graph(4)
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            rank = rng.permutation(6)
+            from repro.orders.community_order import EdgeOrderResult
+
+            order = EdgeOrderResult(edge_rank=rank, sigma=2, num_rounds=1)
+            res = count_cliques_community_order(g, 4, order, Tracker())
+            assert res.count == 1, f"seed {seed} rank {rank}"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_arbitrary_edge_orders_count_correctly(self, seed):
+        # Algorithm 3 must be correct for ANY total edge order, not just
+        # the community-degeneracy ones (the order affects only cost).
+        g = gnm_random_graph(16, 60, seed=seed)
+        rng = np.random.default_rng(seed + 99)
+        from repro.orders.community_order import EdgeOrderResult
+
+        order = EdgeOrderResult(
+            edge_rank=rng.permutation(g.num_edges), sigma=0, num_rounds=1
+        )
+        for k in (4, 5):
+            res = count_cliques_community_order(g, k, order, Tracker())
+            assert res.count == brute_force_count(g, k), k
+
+    def test_listing_with_both_inner_orders(self):
+        g = gnm_random_graph(18, 80, seed=7)
+        order = community_degeneracy_order(g)
+        expected = sorted(brute_force_list(g, 4))
+        for inner in ("id", "degeneracy"):
+            res = count_cliques_community_order(
+                g, 4, order, Tracker(), collect=True, inner_order=inner
+            )
+            assert sorted(res.cliques) == expected, inner
+
+    def test_approx_order_same_count(self):
+        g = gnm_random_graph(20, 95, seed=8)
+        exact = community_degeneracy_order(g)
+        approx = approx_community_order(g, eps=0.5)
+        a = count_cliques_community_order(g, 5, exact, Tracker()).count
+        b = count_cliques_community_order(g, 5, approx, Tracker()).count
+        assert a == b == brute_force_count(g, 5)
+
+
+class TestCostShape:
+    def test_gamma_reported_from_candidate_sets(self):
+        g = gnm_random_graph(25, 120, seed=9)
+        order = community_degeneracy_order(g)
+        res = count_cliques_community_order(g, 4, order, Tracker())
+        assert res.gamma <= order.sigma
+
+    def test_phases_include_communities_and_search(self):
+        g = gnm_random_graph(25, 120, seed=9)
+        order = community_degeneracy_order(g)
+        tr = Tracker()
+        count_cliques_community_order(g, 4, order, tr)
+        assert {"communities", "search"} <= set(tr.phases)

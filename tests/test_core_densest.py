@@ -1,0 +1,93 @@
+"""Unit tests for per-vertex counts and the k-clique densest subgraph."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_list
+from repro.core import kclique_densest_subgraph, per_vertex_clique_counts
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    plant_cliques,
+)
+
+
+class TestPerVertexCounts:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_matches_listing(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            counts = per_vertex_clique_counts(g, k)
+            ref = np.zeros(g.num_vertices, dtype=np.int64)
+            for clique in brute_force_list(g, k):
+                for v in clique:
+                    ref[v] += 1
+            assert np.array_equal(counts, ref)
+
+    def test_sum_is_k_times_total(self):
+        from repro import count_cliques
+
+        g = gnm_random_graph(30, 160, seed=1)
+        for k in (3, 4, 5):
+            counts = per_vertex_clique_counts(g, k)
+            assert counts.sum() == k * count_cliques(g, k).count
+
+    def test_complete_graph(self):
+        counts = per_vertex_clique_counts(complete_graph(7), 4)
+        assert np.all(counts == math.comb(6, 3))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            per_vertex_clique_counts(empty_graph(3), 0)
+
+    def test_empty(self):
+        assert per_vertex_clique_counts(empty_graph(0), 3).size == 0
+
+
+class TestDensestSubgraph:
+    def test_complete_graph_is_its_own_densest(self):
+        res = kclique_densest_subgraph(complete_graph(8), 3)
+        assert len(res.vertices) == 8
+        assert res.density == pytest.approx(math.comb(8, 3) / 8)
+
+    def test_finds_planted_dense_core(self):
+        # Sparse background + one 9-clique: the clique is the densest
+        # 4-clique subgraph by a wide margin.
+        base = gnm_random_graph(150, 220, seed=2)
+        g, planted = plant_cliques(base, [9], seed=3)
+        res = kclique_densest_subgraph(g, 4)
+        assert set(planted[0].tolist()) <= set(res.vertices)
+        # Optimal density is at least the planted clique's own density.
+        assert res.density >= math.comb(9, 4) / 9 / 4  # 1/k-approx guarantee
+
+    def test_no_cliques_gives_empty_density(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])  # path: no triangle
+        res = kclique_densest_subgraph(g, 3)
+        assert res.density == 0.0
+
+    def test_trace_is_recorded(self):
+        g = gnm_random_graph(30, 170, seed=4)
+        res = kclique_densest_subgraph(g, 3)
+        assert len(res.densities) >= 1
+        assert max(res.densities.values()) == pytest.approx(res.density)
+
+    def test_density_definition(self):
+        from repro import count_cliques
+
+        g = gnm_random_graph(25, 130, seed=5)
+        res = kclique_densest_subgraph(g, 3)
+        if res.vertices:
+            sub, _ = g.subgraph(np.asarray(sorted(res.vertices), dtype=np.int32))
+            inside = count_cliques(sub, 3).count
+            assert res.density == pytest.approx(inside / len(res.vertices))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kclique_densest_subgraph(empty_graph(4), 0)
+
+    def test_empty_graph(self):
+        res = kclique_densest_subgraph(empty_graph(0), 3)
+        assert res.vertices == ()

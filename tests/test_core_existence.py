@@ -1,0 +1,115 @@
+"""Unit tests for existence queries, clique number, and spectrum."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import brute_force_count, clique_number
+from repro.core import clique_spectrum, find_clique, max_clique_size
+from repro.graphs import (
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    hypercube_graph,
+    plant_cliques,
+    turan_graph,
+)
+
+
+class TestFindClique:
+    def test_returns_actual_clique(self):
+        g = gnm_random_graph(40, 250, seed=1)
+        witness = find_clique(g, 4)
+        assert witness is not None and len(witness) == 4
+        for a, b in itertools.combinations(witness, 2):
+            assert g.has_edge(a, b)
+
+    def test_none_when_absent(self):
+        assert find_clique(turan_graph(12, 3), 4) is None
+        assert find_clique(hypercube_graph(4), 3) is None
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_agrees_with_counting(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            expect = brute_force_count(g, k) > 0
+            assert (find_clique(g, k) is not None) == expect
+
+    def test_degeneracy_early_cutoff(self):
+        # Tree: degeneracy 1 -> no 3-clique; the search must shortcut.
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert find_clique(g, 3) is None
+
+    def test_trivial_sizes(self):
+        g = from_edges([(0, 1)])
+        assert find_clique(g, 1) == (0,)
+        assert find_clique(g, 2) == (0, 1)
+        assert find_clique(empty_graph(0), 1) is None
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            find_clique(empty_graph(3), 0)
+
+    def test_planted_witness(self):
+        base = gnm_random_graph(200, 400, seed=2)
+        g, planted = plant_cliques(base, [8], seed=3)
+        witness = find_clique(g, 8)
+        assert witness is not None
+
+
+class TestMaxCliqueSize:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bron_kerbosch(self, seed):
+        g = gnm_random_graph(35, 180, seed=seed)
+        assert max_clique_size(g) == clique_number(g)
+
+    def test_known_graphs(self):
+        assert max_clique_size(complete_graph(7)) == 7
+        assert max_clique_size(turan_graph(12, 4)) == 4
+        assert max_clique_size(hypercube_graph(3)) == 2
+        assert max_clique_size(empty_graph(5)) == 1
+        assert max_clique_size(empty_graph(0)) == 0
+
+    def test_clique_chain(self):
+        assert max_clique_size(clique_chain(3, 6, overlap=2)) == 6
+
+
+class TestSpectrum:
+    def test_matches_per_k_counts(self):
+        g = gnm_random_graph(30, 150, seed=4)
+        spectrum = clique_spectrum(g)
+        for k, count in spectrum.items():
+            if k <= 6:
+                assert count == brute_force_count(g, k), k
+
+    def test_zero_tail(self):
+        g = clique_chain(2, 4)
+        spectrum = clique_spectrum(g, k_max=10)
+        assert spectrum[4] == 2
+        assert all(spectrum[k] == 0 for k in range(5, 11))
+
+    def test_spectrum_bounds_by_degeneracy(self):
+        from repro.analysis import per_size_clique_bound
+        from repro.orders import degeneracy_order
+
+        g = gnm_random_graph(40, 220, seed=5)
+        s = degeneracy_order(g).degeneracy
+        for k, count in clique_spectrum(g).items():
+            assert count <= per_size_clique_bound(g.num_vertices, s, k)
+
+    def test_k1_is_n(self):
+        g = gnm_random_graph(17, 30, seed=6)
+        assert clique_spectrum(g)[1] == 17
+
+    def test_empty_graph(self):
+        assert clique_spectrum(empty_graph(0)) == {}
+
+    def test_total_cliques_within_wood_bound(self):
+        from repro.analysis import wood_total_clique_bound
+        from repro.orders import degeneracy_order
+
+        g = gnm_random_graph(30, 160, seed=7)
+        s = degeneracy_order(g).degeneracy
+        total = sum(clique_spectrum(g).values())
+        assert total <= wood_total_clique_bound(30, s)

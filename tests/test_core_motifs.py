@@ -1,0 +1,71 @@
+"""Unit tests for the triangle-growing extension (§5 future work)."""
+
+import math
+
+import pytest
+
+from repro.baselines import brute_force_count
+from repro.core import count_cliques_triangle_growing
+from repro.graphs import (
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    gnm_random_graph,
+    hypercube_graph,
+)
+from repro.pram.tracker import Tracker
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6, 7])
+    def test_matches_oracle(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            assert (
+                count_cliques_triangle_growing(g, k).count
+                == brute_force_count(g, k)
+            ), k
+
+    def test_complete_graph_all_sizes(self):
+        g = complete_graph(10)
+        for k in range(1, 11):
+            assert count_cliques_triangle_growing(g, k).count == math.comb(10, k)
+
+    def test_k_mod_3_residues(self):
+        # k-2 in {2,3,4,5,6,7} exercises every base-case residue.
+        g = clique_chain(3, 9, overlap=3)
+        for k in range(4, 10):
+            assert (
+                count_cliques_triangle_growing(g, k).count
+                == brute_force_count(g, k)
+            ), k
+
+    def test_triangle_free(self):
+        assert count_cliques_triangle_growing(hypercube_graph(4), 4).count == 0
+
+    def test_empty(self):
+        assert count_cliques_triangle_growing(empty_graph(5), 4).count == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            count_cliques_triangle_growing(empty_graph(5), 0)
+
+
+class TestProfile:
+    def test_shallower_recursion_than_edge_growing(self):
+        # 3 vertices per level instead of 2: fewer recursive calls on the
+        # same instance for large k.
+        from repro.core import run_variant
+
+        g = complete_graph(14)
+        k = 12
+        tri = count_cliques_triangle_growing(g, k)
+        edge = run_variant(g, k, "best-work", Tracker())
+        assert tri.count == edge.count
+        assert tri.stats.calls <= edge.stats.calls
+
+    def test_cost_is_tracked(self):
+        g = gnm_random_graph(30, 150, seed=1)
+        tr = Tracker()
+        count_cliques_triangle_growing(g, 5, tracker=tr)
+        assert tr.work > 0
+        assert set(tr.phases) >= {"orientation", "communities"}

@@ -1,0 +1,41 @@
+"""Unit tests for the process-parallel counting wrapper."""
+
+import pytest
+
+from repro.baselines import brute_force_count
+from repro.core import count_cliques_parallel
+from repro.graphs import complete_graph, empty_graph, gnm_random_graph
+
+
+class TestSequentialPath:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_matches_oracle(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            assert count_cliques_parallel(g, k, n_workers=1) == brute_force_count(
+                g, k
+            )
+
+    def test_no_eligible_edges(self):
+        g = gnm_random_graph(20, 25, seed=1)  # sparse, no big communities
+        assert count_cliques_parallel(g, 9, n_workers=1) == 0
+
+    def test_empty(self):
+        assert count_cliques_parallel(empty_graph(4), 4, n_workers=1) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            count_cliques_parallel(empty_graph(4), 0)
+
+
+class TestMultiprocessPath:
+    def test_two_workers_match_one(self):
+        g = gnm_random_graph(60, 400, seed=2)
+        seq = count_cliques_parallel(g, 4, n_workers=1)
+        par = count_cliques_parallel(g, 4, n_workers=2)
+        assert seq == par
+
+    def test_matches_main_engine(self):
+        from repro import count_cliques
+
+        g = complete_graph(12)
+        assert count_cliques_parallel(g, 6, n_workers=2) == count_cliques(g, 6).count

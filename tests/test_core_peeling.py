@@ -1,0 +1,93 @@
+"""Unit tests for the k-clique peeling (core decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.core import kclique_peel
+from repro.graphs import (
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+)
+from tests.conftest import nx_graph
+
+
+class TestClassicCoreOracle:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k2_equals_core_numbers(self, seed):
+        import networkx as nx
+
+        g = gnm_random_graph(22, 70 + 8 * seed, seed=seed)
+        res = kclique_peel(g, 2)
+        ref = nx.core_number(nx_graph(g))
+        assert all(res.core[v] == ref[v] for v in range(22))
+
+
+class TestTriangleCores:
+    def test_complete_graph_uniform(self):
+        import math
+
+        res = kclique_peel(complete_graph(6), 3)
+        assert np.all(res.core == math.comb(5, 2))  # each vertex in 10 triangles
+        assert res.degeneracy == 10
+
+    def test_triangle_free_graph_zero(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])  # C4
+        res = kclique_peel(g, 3)
+        assert np.all(res.core == 0)
+        assert res.degeneracy == 0
+
+    def test_chain_cores(self):
+        # Chain of 5-cliques sharing one vertex: every vertex survives in
+        # a subgraph (its own 5-clique) with min triangle-degree C(4,2)=6.
+        g = clique_chain(3, 5, overlap=1)
+        res = kclique_peel(g, 3)
+        assert np.all(res.core == 6)
+
+    def test_pendant_lower_core(self):
+        # K5 plus a pendant triangle sharing an edge: the pendant apex has
+        # triangle-degree 1 and must get a lower core than the K5 members.
+        edges = [(a, b) for a in range(5) for b in range(a + 1, 5)]
+        edges += [(0, 5), (1, 5)]  # apex 5 on edge (0,1)
+        g = from_edges(np.asarray(edges, dtype=np.int64))
+        res = kclique_peel(g, 3)
+        assert res.core[5] == 1
+        assert np.all(res.core[:5] == res.core[0])
+        assert res.core[0] > 1
+
+
+class TestPeelStructure:
+    def test_order_is_permutation(self):
+        g = gnm_random_graph(20, 70, seed=1)
+        res = kclique_peel(g, 3)
+        assert np.array_equal(np.sort(res.order), np.arange(20))
+
+    def test_monotone_core_along_order(self):
+        g = gnm_random_graph(20, 80, seed=2)
+        res = kclique_peel(g, 3)
+        cores_in_order = res.core[res.order]
+        assert np.all(np.diff(cores_in_order) >= 0)
+
+    def test_empty_graph(self):
+        res = kclique_peel(empty_graph(4), 3)
+        assert np.all(res.core == 0)
+        assert res.degeneracy == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kclique_peel(empty_graph(3), 0)
+
+    def test_densest_prefix_consistency(self):
+        # The peel's late prefix reaches at least the densest subgraph's
+        # density: peel cores upper-bound membership in dense prefixes.
+        from repro.core import kclique_densest_subgraph
+
+        g = gnm_random_graph(25, 140, seed=3)
+        res = kclique_peel(g, 3)
+        dres = kclique_densest_subgraph(g, 3)
+        if dres.vertices:
+            # Every vertex of the densest subgraph survives to a prefix
+            # with positive min degree: its core is positive.
+            assert all(res.core[v] > 0 for v in dres.vertices)

@@ -1,0 +1,160 @@
+"""Unit tests for Algorithm 2 (RecursiveCount)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recursive import SearchStats, recursive_count
+from repro.graphs import complete_graph, from_edges, gnm_random_graph, orient_by_order
+from repro.triangles import build_communities
+
+
+def setup(g):
+    dag = orient_by_order(g, np.arange(g.num_vertices))
+    return dag, build_communities(dag)
+
+
+class TestBaseCases:
+    def test_c1_counts_candidates(self):
+        g = complete_graph(6)
+        dag, comms = setup(g)
+        stats = SearchStats()
+        count, depth = recursive_count(
+            dag, comms, np.array([1, 2, 3], dtype=np.int32), 1, 3, stats
+        )
+        assert count == 3
+        assert depth == 1.0
+
+    def test_c1_emits(self):
+        g = complete_graph(5)
+        dag, comms = setup(g)
+        out = []
+        recursive_count(
+            dag,
+            comms,
+            np.array([1, 3], dtype=np.int32),
+            1,
+            3,
+            SearchStats(),
+            emit=out.append,
+            prefix=[0],
+        )
+        assert out == [[0, 1], [0, 3]]
+
+    def test_c2_counts_induced_edges(self):
+        # Path 0-1-2-3: induced edges among {1,2,3} are (1,2),(2,3).
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        dag, comms = setup(g)
+        stats = SearchStats()
+        count, _ = recursive_count(
+            dag, comms, np.array([1, 2, 3], dtype=np.int32), 2, 4, stats
+        )
+        assert count == 2
+
+    def test_c2_empty_candidates(self):
+        g = complete_graph(4)
+        dag, comms = setup(g)
+        count, _ = recursive_count(
+            dag, comms, np.array([], dtype=np.int32), 2, 4, SearchStats()
+        )
+        assert count == 0
+
+    def test_invalid_c(self):
+        g = complete_graph(4)
+        dag, comms = setup(g)
+        with pytest.raises(ValueError):
+            recursive_count(
+                dag, comms, np.arange(4, dtype=np.int32), 0, 2, SearchStats()
+            )
+
+
+class TestRecursiveCase:
+    def test_c3_inside_k5(self):
+        # K5: candidates {1,2,3} with c=3 -> 3-cliques: exactly 1 ({1,2,3}).
+        g = complete_graph(5)
+        dag, comms = setup(g)
+        count, _ = recursive_count(
+            dag, comms, np.array([1, 2, 3], dtype=np.int32), 3, 5, SearchStats()
+        )
+        assert count == 1
+
+    def test_c4_inside_k8(self):
+        # candidates {1..6}, c=4 -> C(6,4) = 15 4-cliques.
+        g = complete_graph(8)
+        dag, comms = setup(g)
+        count, _ = recursive_count(
+            dag, comms, np.arange(1, 7, dtype=np.int32), 4, 6, SearchStats()
+        )
+        assert count == 15
+
+    def test_figure3_no_6_clique(self):
+        # The Figure 3 graph: searching for a 6-clique aborts because the
+        # pair (v3, v4) is not an edge.
+        g = from_edges(
+            [
+                (0, 1), (0, 2), (0, 3), (0, 4), (0, 5),
+                (1, 2), (1, 3), (1, 4), (1, 5),
+                (2, 5), (2, 4),
+                (3, 5), (4, 5),
+            ]
+        )
+        dag, comms = setup(g)
+        eid = dag.edge_id(0, 5)
+        candidates = comms.of(eid)
+        assert candidates.size == 4  # {1,2,3,4}
+        count, _ = recursive_count(dag, comms, candidates, 4, 6, SearchStats())
+        assert count == 0
+
+    def test_depth_grows_with_k(self):
+        g = complete_graph(12)
+        dag, comms = setup(g)
+        depths = []
+        for c in [2, 4, 6, 8]:
+            _, d = recursive_count(
+                dag,
+                comms,
+                np.arange(1, 11, dtype=np.int32),
+                c,
+                c + 2,
+                SearchStats(),
+            )
+            depths.append(d)
+        assert depths == sorted(depths)
+
+
+class TestPruning:
+    def test_prune_off_same_count(self):
+        g = gnm_random_graph(25, 120, seed=1)
+        dag, comms = setup(g)
+        cands = np.arange(25, dtype=np.int32)
+        a, _ = recursive_count(dag, comms, cands, 4, 6, SearchStats(), prune=True)
+        b, _ = recursive_count(dag, comms, cands, 4, 6, SearchStats(), prune=False)
+        assert a == b
+
+    def test_prune_reduces_probes(self):
+        g = complete_graph(14)
+        dag, comms = setup(g)
+        cands = np.arange(1, 13, dtype=np.int32)
+        with_prune = SearchStats()
+        without = SearchStats()
+        recursive_count(dag, comms, cands, 6, 8, with_prune, prune=True)
+        recursive_count(dag, comms, cands, 6, 8, without, prune=False)
+        assert with_prune.probes < without.probes
+        assert with_prune.work < without.work
+
+
+class TestStats:
+    def test_stats_merge(self):
+        a, b = SearchStats(), SearchStats()
+        a.work, a.probes, a.calls = 5.0, 2, 1
+        b.work, b.probes, b.calls = 7.0, 3, 4
+        a.merge(b)
+        assert a.work == 12.0 and a.probes == 5 and a.calls == 5
+
+    def test_listing_charges_k_per_clique(self):
+        g = complete_graph(6)
+        dag, comms = setup(g)
+        stats = SearchStats()
+        recursive_count(
+            dag, comms, np.array([1, 2, 3, 4], dtype=np.int32), 1, 6, stats
+        )
+        assert stats.work == 6 * 4

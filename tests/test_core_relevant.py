@@ -1,0 +1,110 @@
+"""Unit tests for the relevant pairs/edges machinery (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.relevant import (
+    delta,
+    num_relevant_pairs,
+    relevant_edge_in_vertices,
+    relevant_edge_out_vertices,
+    relevant_edges,
+    relevant_in_vertices,
+    relevant_out_vertices,
+    relevant_pairs,
+)
+from repro.graphs import complete_graph, from_edges, gnm_random_graph, orient_by_order
+
+
+class TestDelta:
+    def test_adjacent_indices(self):
+        c = np.arange(10)
+        assert delta(c, 0, 1) == 0
+
+    def test_distance_counts_between(self):
+        c = np.arange(10)
+        assert delta(c, 2, 7) == 4
+        assert delta(c, 7, 2) == 4  # symmetric
+
+    def test_same_index(self):
+        assert delta(np.arange(5), 3, 3) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            delta(np.arange(5), 0, 9)
+
+
+class TestObservation4Formula:
+    @pytest.mark.parametrize("size", [0, 1, 2, 5, 10, 20])
+    @pytest.mark.parametrize("c", [0, 1, 2, 3, 8])
+    def test_formula_matches_enumeration(self, size, c):
+        candidates = np.arange(size)
+        enumerated = sum(1 for _ in relevant_pairs(candidates, c))
+        assert enumerated == num_relevant_pairs(size, c)
+
+    def test_negative_c_rejected(self):
+        with pytest.raises(ValueError):
+            num_relevant_pairs(5, -1)
+
+    def test_all_pairs_at_c0(self):
+        assert num_relevant_pairs(6, 0) == 15
+
+
+class TestObservation3:
+    @pytest.mark.parametrize("size", [0, 3, 7, 12])
+    @pytest.mark.parametrize("c", [0, 1, 4])
+    def test_out_in_counts(self, size, c):
+        candidates = np.arange(size)
+        expected = max(size - (c + 1), 0)
+        assert relevant_out_vertices(candidates, c).size == expected
+        assert relevant_in_vertices(candidates, c).size == expected
+
+    def test_out_vertices_are_prefix(self):
+        c = np.array([3, 5, 9, 12, 20])
+        assert np.array_equal(relevant_out_vertices(c, 2), [3, 5])
+
+    def test_in_vertices_are_suffix(self):
+        c = np.array([3, 5, 9, 12, 20])
+        assert np.array_equal(relevant_in_vertices(c, 2), [12, 20])
+
+
+class TestRelevantEdges:
+    def test_relevant_edges_subset_of_pairs(self):
+        g = gnm_random_graph(20, 80, seed=1)
+        dag = orient_by_order(g, np.arange(20))
+        candidates = np.arange(20, dtype=np.int32)
+        pairs = set(relevant_pairs(candidates, 3))
+        edges = set(relevant_edges(dag, candidates, 3))
+        assert edges <= pairs
+        for u, v in edges:
+            assert dag.has_edge(u, v)
+
+    def test_complete_graph_edges_equal_pairs(self):
+        dag = orient_by_order(complete_graph(8), np.arange(8))
+        candidates = np.arange(8, dtype=np.int32)
+        pairs = set(relevant_pairs(candidates, 2))
+        edges = set(relevant_edges(dag, candidates, 2))
+        assert edges == pairs
+
+    def test_figure4_example(self):
+        # Figure 4 of the paper: relevant edges w.r.t. 3 are (v1,v5),(v1,v6).
+        # Vertices renamed 0..5; edges per the figure's drawing.
+        g = from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 4), (0, 5), (1, 5)]
+        )
+        dag = orient_by_order(g, np.arange(6))
+        edges = set(relevant_edges(dag, np.arange(6, dtype=np.int32), 3))
+        assert (0, 4) in edges and (0, 5) in edges
+        # every relevant edge must span at least 3 intermediate vertices
+        assert all(v - u - 1 >= 3 for u, v in edges)
+
+    def test_endpoint_helpers(self):
+        g = gnm_random_graph(15, 50, seed=2)
+        dag = orient_by_order(g, np.arange(15))
+        candidates = np.arange(15, dtype=np.int32)
+        outs = relevant_edge_out_vertices(dag, candidates, 2)
+        for u in outs.tolist():
+            ins = relevant_edge_in_vertices(dag, candidates, 2, u)
+            assert ins.size >= 1
+            for v in ins.tolist():
+                assert dag.has_edge(u, v)

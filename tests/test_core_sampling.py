@@ -1,0 +1,76 @@
+"""Unit tests for the sampling-based approximate counter."""
+
+import pytest
+
+from repro import count_cliques
+from repro.core import estimate_clique_count
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    gnm_random_graph,
+    hypercube_graph,
+    relaxed_caveman_graph,
+)
+
+
+class TestUnbiasedness:
+    def test_exact_when_every_edge_sampled(self):
+        # Importance sampling over a complete graph: every edge has the
+        # same weight and c(e) is deterministic given |C(e)|... with many
+        # samples the estimate concentrates tightly around the truth.
+        g = complete_graph(10)
+        exact = count_cliques(g, 4).count
+        est = estimate_clique_count(g, 4, samples=500, seed=1)
+        assert est.estimate == pytest.approx(exact, rel=0.05)
+
+    def test_covers_truth_with_3_sigma(self):
+        g = relaxed_caveman_graph(12, 8, 0.1, seed=2)
+        exact = count_cliques(g, 5).count
+        est = estimate_clique_count(g, 5, samples=300, seed=3)
+        lo, hi = est.confidence_interval(z=3.5)
+        assert lo <= exact <= hi
+
+    def test_importance_reduces_variance(self):
+        g = relaxed_caveman_graph(12, 8, 0.1, seed=4)
+        imp = estimate_clique_count(g, 5, samples=200, seed=5, importance=True)
+        uni = estimate_clique_count(g, 5, samples=200, seed=5, importance=False)
+        assert imp.std_error <= uni.std_error
+
+    def test_zero_when_no_cliques(self):
+        g = hypercube_graph(4)
+        est = estimate_clique_count(g, 4, samples=50, seed=6)
+        assert est.estimate == 0.0
+        assert est.std_error == 0.0
+
+    def test_sparse_random_graph(self):
+        g = gnm_random_graph(150, 500, seed=7)
+        exact = count_cliques(g, 4).count
+        est = estimate_clique_count(g, 4, samples=400, seed=8)
+        lo, hi = est.confidence_interval(z=4)
+        assert lo <= exact <= hi
+
+
+class TestValidation:
+    def test_k_below_4_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_clique_count(complete_graph(5), 3)
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_clique_count(complete_graph(5), 4, samples=0)
+
+    def test_empty_graph(self):
+        est = estimate_clique_count(empty_graph(5), 4, samples=10)
+        assert est.estimate == 0.0
+
+    def test_ci_never_negative(self):
+        g = gnm_random_graph(60, 150, seed=9)
+        est = estimate_clique_count(g, 4, samples=20, seed=10)
+        lo, _ = est.confidence_interval(z=10)
+        assert lo >= 0.0
+
+    def test_deterministic_under_seed(self):
+        g = gnm_random_graph(80, 400, seed=11)
+        a = estimate_clique_count(g, 4, samples=50, seed=12)
+        b = estimate_clique_count(g, 4, samples=50, seed=12)
+        assert a.estimate == b.estimate

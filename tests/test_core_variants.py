@@ -1,0 +1,105 @@
+"""Unit tests for the six Table-1 variants (§4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_count, brute_force_list
+from repro.core import VARIANTS, run_variant
+from repro.graphs import (
+    bipartite_plus_line_graph,
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    gnm_random_graph,
+)
+from repro.pram.tracker import Tracker
+
+
+class TestAgreementAcrossVariants:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_counts_match_oracle(self, variant, k, small_random_graphs):
+        for g in small_random_graphs[:4]:
+            expected = brute_force_count(g, k)
+            got = run_variant(g, k, variant, Tracker()).count
+            assert got == expected, (variant, k)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_trivial_k_sizes(self, variant):
+        g = gnm_random_graph(18, 60, seed=1)
+        assert run_variant(g, 1, variant, Tracker()).count == 18
+        assert run_variant(g, 2, variant, Tracker()).count == 60
+        assert (
+            run_variant(g, 3, variant, Tracker()).count
+            == brute_force_count(g, 3)
+        )
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_listing_matches_oracle(self, variant):
+        g = gnm_random_graph(20, 90, seed=2)
+        res = run_variant(g, 4, variant, Tracker(), collect=True)
+        assert sorted(res.cliques) == sorted(brute_force_list(g, 4))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_variant(complete_graph(4), 4, "fastest", Tracker())
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            run_variant(complete_graph(4), 0, "best-work", Tracker())
+
+
+class TestStructuredInstances:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_clique_chain(self, variant):
+        g = clique_chain(3, 7, overlap=2)
+        expected = brute_force_count(g, 5)
+        assert run_variant(g, 5, variant, Tracker()).count == expected
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_bipartite_plus_line_no_k4(self, variant):
+        # σ=1 family: contains triangles but no 4-clique.
+        g = bipartite_plus_line_graph(8)
+        assert run_variant(g, 4, variant, Tracker()).count == 0
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_empty_graph(self, variant):
+        assert run_variant(empty_graph(9), 4, variant, Tracker()).count == 0
+
+
+class TestWorkDepthTradeoffs:
+    def test_best_depth_has_lower_depth_than_best_work(self):
+        g = gnm_random_graph(300, 1500, seed=3)
+        t_work, t_depth = Tracker(), Tracker()
+        run_variant(g, 4, "best-work", t_work)
+        run_variant(g, 4, "best-depth", t_depth)
+        # best-work pays the Θ(n) sequential peel; best-depth is polylog.
+        assert t_depth.depth < t_work.depth
+
+    def test_hybrid_depth_between(self):
+        g = gnm_random_graph(300, 1500, seed=4)
+        trackers = {}
+        for v in ("best-work", "hybrid", "best-depth"):
+            tr = Tracker()
+            run_variant(g, 4, v, tr)
+            trackers[v] = tr.depth
+        assert trackers["hybrid"] < trackers["best-work"]
+
+    def test_cd_best_work_uses_sigma_sized_sets(self):
+        g = gnm_random_graph(60, 280, seed=5)
+        res = run_variant(g, 4, "cd-best-work", Tracker())
+        from repro.orders import community_degeneracy
+
+        assert res.gamma <= community_degeneracy(g)
+
+    def test_pruning_flag_preserves_count(self):
+        g = gnm_random_graph(25, 110, seed=6)
+        a = run_variant(g, 5, "best-work", Tracker(), prune=True).count
+        b = run_variant(g, 5, "best-work", Tracker(), prune=False).count
+        assert a == b
+
+    def test_eps_variants(self):
+        g = gnm_random_graph(40, 180, seed=7)
+        for eps in (0.1, 0.5, 1.5):
+            got = run_variant(g, 4, "best-depth", Tracker(), eps=eps).count
+            assert got == brute_force_count(g, 4)

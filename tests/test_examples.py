@@ -1,0 +1,31 @@
+"""Every example script must run to completion (deliverable b is live)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def example_files():
+    return sorted(
+        f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+    )
+
+
+@pytest.mark.parametrize("script", example_files())
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_at_least_three_examples():
+    assert len(example_files()) >= 3

@@ -1,0 +1,131 @@
+"""Failure injection: malformed inputs and degenerate parameters.
+
+Every public entry point must reject invalid input with a clear error and
+behave sensibly on degenerate-but-valid input (empty graphs, graphs with
+no triangles, k larger than the graph).
+"""
+
+import numpy as np
+import pytest
+
+from repro import count_cliques, has_clique, list_cliques
+from repro.core import VARIANTS
+from repro.graphs import (
+    CSRGraph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    orient_by_order,
+)
+
+
+class TestInvalidK:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_k_zero(self, variant):
+        with pytest.raises(ValueError):
+            count_cliques(gnm_random_graph(5, 5, seed=1), 0, variant=variant)
+
+    def test_k_negative(self):
+        with pytest.raises(ValueError):
+            count_cliques(gnm_random_graph(5, 5, seed=1), -3)
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_no_vertices(self, variant):
+        g = empty_graph(0)
+        assert count_cliques(g, 4, variant=variant).count == 0
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_single_vertex(self, variant):
+        g = empty_graph(1)
+        assert count_cliques(g, 1, variant=variant).count == 1
+        assert count_cliques(g, 4, variant=variant).count == 0
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_single_edge(self, variant):
+        g = from_edges([(0, 1)])
+        assert count_cliques(g, 2, variant=variant).count == 1
+        assert count_cliques(g, 4, variant=variant).count == 0
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_disconnected_components(self, variant):
+        # Two disjoint 4-cliques with isolated vertices in between.
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        edges += [(a + 10, b + 10) for a in range(4) for b in range(a + 1, 4)]
+        g = from_edges(np.asarray(edges, dtype=np.int64), num_vertices=20)
+        assert count_cliques(g, 4, variant=variant).count == 2
+
+    def test_k_exceeds_n(self):
+        g = gnm_random_graph(6, 10, seed=2)
+        assert count_cliques(g, 10).count == 0
+        assert not has_clique(g, 10)
+        assert list_cliques(g, 10) == []
+
+    def test_star_graph_no_triangles(self):
+        g = from_edges([(0, i) for i in range(1, 12)])
+        for variant in VARIANTS:
+            assert count_cliques(g, 3, variant=variant).count == 0
+            assert count_cliques(g, 4, variant=variant).count == 0
+
+
+class TestMalformedStructures:
+    def test_corrupt_indptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 5]), np.array([1, 0], dtype=np.int32))
+
+    def test_orientation_with_short_order(self):
+        g = gnm_random_graph(8, 12, seed=3)
+        with pytest.raises(ValueError):
+            orient_by_order(g, np.arange(5))
+
+    def test_orientation_with_duplicate_rank(self):
+        g = gnm_random_graph(8, 12, seed=3)
+        bad = np.zeros(8, dtype=np.int64)
+        with pytest.raises(ValueError):
+            orient_by_order(g, bad)
+
+    def test_subgraph_with_out_of_range_member(self):
+        g = gnm_random_graph(8, 12, seed=3)
+        with pytest.raises(Exception):
+            g.subgraph(np.array([5, 100], dtype=np.int32))
+
+
+class TestParameterValidation:
+    def test_bad_eps_everywhere(self):
+        g = gnm_random_graph(10, 20, seed=4)
+        for variant in ("best-depth", "cd-best-depth", "hybrid", "cd-hybrid"):
+            with pytest.raises(ValueError):
+                count_cliques(g, 4, variant=variant, eps=0.0)
+
+    def test_algorithm3_requires_k_at_least_4(self):
+        from repro.core.community_variant import count_cliques_community_order
+        from repro.orders import community_degeneracy_order
+        from repro.pram.tracker import Tracker
+
+        g = gnm_random_graph(10, 25, seed=5)
+        order = community_degeneracy_order(g)
+        with pytest.raises(ValueError):
+            count_cliques_community_order(g, 3, order, Tracker())
+
+    def test_edge_order_size_mismatch(self):
+        from repro.core.community_variant import count_cliques_community_order
+        from repro.orders import community_degeneracy_order
+        from repro.pram.tracker import Tracker
+
+        g = gnm_random_graph(10, 25, seed=5)
+        other = community_degeneracy_order(gnm_random_graph(10, 20, seed=6))
+        with pytest.raises(ValueError):
+            count_cliques_community_order(g, 4, other, Tracker())
+
+    def test_bad_inner_order(self):
+        from repro.core.community_variant import count_cliques_community_order
+        from repro.orders import community_degeneracy_order
+        from repro.pram.tracker import Tracker
+
+        g = gnm_random_graph(10, 25, seed=5)
+        order = community_degeneracy_order(g)
+        with pytest.raises(ValueError):
+            count_cliques_community_order(
+                g, 4, order, Tracker(), inner_order="random"
+            )

@@ -1,0 +1,74 @@
+"""Unit tests for edge-list -> CSR construction."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import from_adjacency, from_edges
+
+
+class TestCleaning:
+    def test_self_loops_dropped(self):
+        g = from_edges([(0, 0), (0, 1), (1, 1)])
+        assert g.num_edges == 1
+
+    def test_duplicates_merged(self):
+        g = from_edges([(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+
+    def test_symmetrized(self):
+        g = from_edges([(0, 1)])
+        assert g.has_edge(1, 0)
+
+    def test_empty_edge_list(self):
+        g = from_edges([], num_vertices=3)
+        assert g.num_vertices == 3 and g.num_edges == 0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(-1, 2)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(np.array([1, 2, 3]))
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 5)], num_vertices=3)
+
+
+class TestLabels:
+    def test_inferred_vertex_count(self):
+        g = from_edges([(0, 7)])
+        assert g.num_vertices == 8
+
+    def test_forced_vertex_count_adds_isolated(self):
+        g = from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_compact_relabels(self):
+        g = from_edges([(100, 200), (200, 300)], compact=True)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_adjacency_input(self):
+        g = from_adjacency([[1, 2], [0], [0]])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 2)
+
+
+class TestLargeRandomRoundTrip:
+    def test_csr_is_valid_for_random_input(self):
+        rng = np.random.default_rng(5)
+        edges = rng.integers(0, 50, size=(500, 2))
+        g = from_edges(edges)
+        # Re-validate through the strict constructor.
+        from repro.graphs import CSRGraph
+
+        CSRGraph(g.indptr, g.indices, validate=True)
+
+    def test_degree_sum_is_twice_edges(self):
+        rng = np.random.default_rng(6)
+        edges = rng.integers(0, 40, size=(300, 2))
+        g = from_edges(edges)
+        assert int(g.degrees.sum()) == 2 * g.num_edges

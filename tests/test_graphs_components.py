@@ -1,0 +1,105 @@
+"""Unit tests for connected-components utilities."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    connected_components,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    label_propagation_components,
+    largest_component,
+)
+from tests.conftest import nx_graph
+
+
+def two_triangles_and_isolated():
+    return from_edges(
+        [(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7)], num_vertices=9
+    )
+
+
+class TestUnionFind:
+    def test_component_count(self):
+        # 9 vertices: triangles {0,1,2} and {5,6,7} plus isolated 3, 4, 8.
+        g = two_triangles_and_isolated()
+        count, labels = connected_components(g)
+        assert count == 5
+
+    def test_labels_partition(self):
+        g = two_triangles_and_isolated()
+        count, labels = connected_components(g)
+        assert labels.size == 9
+        assert set(labels.tolist()) == set(range(count))
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[5] == labels[6] == labels[7]
+        assert labels[0] != labels[5]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = gnm_random_graph(40, 45, seed=seed)  # sparse -> several comps
+        count, labels = connected_components(g)
+        assert count == nx.number_connected_components(nx_graph(g))
+
+    def test_empty_graph(self):
+        count, labels = connected_components(empty_graph(0))
+        assert count == 0 and labels.size == 0
+
+    def test_edgeless(self):
+        count, labels = connected_components(empty_graph(5))
+        assert count == 5
+
+
+class TestLabelPropagation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_union_find(self, seed):
+        g = gnm_random_graph(35, 40, seed=seed + 10)
+        c1, l1 = connected_components(g)
+        c2, l2, rounds = label_propagation_components(g)
+        assert c1 == c2
+        # same partition up to label naming
+        mapping = {}
+        for a, b in zip(l1.tolist(), l2.tolist()):
+            assert mapping.setdefault(a, b) == b
+
+    def test_rounds_bounded_by_diameter(self):
+        # A path of length 20 needs ~20 rounds; a clique needs ~2.
+        path = from_edges([(i, i + 1) for i in range(20)])
+        _, _, r_path = label_propagation_components(path)
+        from repro.graphs import complete_graph
+
+        _, _, r_clique = label_propagation_components(complete_graph(21))
+        assert r_clique < r_path <= 22
+
+
+class TestLargestComponent:
+    def test_extracts_biggest(self):
+        g = two_triangles_and_isolated()
+        sub, ids = largest_component(g)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        # tie between the two triangles -> smallest member wins
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_whole_graph_when_connected(self):
+        from repro.graphs import complete_graph
+
+        g = complete_graph(6)
+        sub, ids = largest_component(g)
+        assert sub.num_vertices == 6
+        assert ids.tolist() == list(range(6))
+
+    def test_empty(self):
+        sub, ids = largest_component(empty_graph(0))
+        assert sub.num_vertices == 0
+
+    def test_clique_counts_unaffected_by_isolated_vertices(self):
+        from repro import count_cliques
+
+        g = two_triangles_and_isolated()
+        sub, _ = largest_component(g)
+        assert count_cliques(g, 3).count == 2
+        assert count_cliques(sub, 3).count == 1

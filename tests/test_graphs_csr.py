@@ -1,0 +1,124 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, complete_graph, empty_graph, from_edges
+
+
+def tiny():
+    # Triangle 0-1-2 plus pendant 3 attached to 2.
+    return from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestBasics:
+    def test_counts(self):
+        g = tiny()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_degrees(self):
+        g = tiny()
+        assert g.degree(2) == 3
+        assert np.array_equal(g.degrees, [2, 2, 3, 1])
+
+    def test_neighbors_sorted(self):
+        g = tiny()
+        assert np.array_equal(g.neighbors(2), [0, 1, 3])
+
+    def test_has_edge(self):
+        g = tiny()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+        assert not g.has_edge(1, 1)
+
+    def test_edges_iterator_each_once(self):
+        g = tiny()
+        edges = list(g.edges())
+        assert sorted(edges) == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_edge_array_matches_iterator(self):
+        g = tiny()
+        us, vs = g.edge_array()
+        assert sorted(zip(us.tolist(), vs.tolist())) == sorted(g.edges())
+
+    def test_immutable_arrays(self):
+        g = tiny()
+        with pytest.raises(ValueError):
+            g.indices[0] = 99
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1], dtype=np.int32))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 3, 2, 4]), np.arange(4, dtype=np.int32))
+
+    def test_odd_directed_count(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0], dtype=np.int32))
+
+    def test_out_of_range_neighbor(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1, 2]), np.array([5, 0], dtype=np.int32))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 2]), np.array([0, 1], dtype=np.int32))
+
+    def test_unsorted_adjacency_rejected(self):
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([2, 1, 0, 0], dtype=np.int32)
+        with pytest.raises(ValueError):
+            CSRGraph(indptr, indices)
+
+
+class TestSubgraph:
+    def test_induced_triangle(self):
+        g = tiny()
+        sub, labels = g.subgraph(np.array([0, 1, 2], dtype=np.int32))
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert np.array_equal(labels, [0, 1, 2])
+
+    def test_relabeling(self):
+        g = tiny()
+        sub, labels = g.subgraph(np.array([1, 2, 3], dtype=np.int32))
+        # local 0=1, 1=2, 2=3: edges (1,2),(2,3) -> (0,1),(1,2)
+        assert sorted(sub.edges()) == [(0, 1), (1, 2)]
+
+    def test_empty_subgraph(self):
+        g = tiny()
+        sub, _ = g.subgraph(np.array([], dtype=np.int32))
+        assert sub.num_vertices == 0 and sub.num_edges == 0
+
+    def test_unsorted_subset_rejected(self):
+        g = tiny()
+        with pytest.raises(ValueError):
+            g.subgraph(np.array([2, 0], dtype=np.int32))
+
+
+class TestSpecialGraphs:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5 and g.num_edges == 0
+
+    def test_zero_vertices(self):
+        g = empty_graph(0)
+        assert g.num_vertices == 0
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.has_edge(i, j) for i in range(5) for j in range(5) if i != j)
+
+    def test_complete_tiny(self):
+        assert complete_graph(1).num_edges == 0
+        assert complete_graph(2).num_edges == 1
+
+    def test_equality(self):
+        assert tiny() == tiny()
+        assert tiny() != complete_graph(4)

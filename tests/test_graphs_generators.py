@@ -1,0 +1,228 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    banded_graph,
+    bipartite_plus_line_graph,
+    chung_lu_graph,
+    clique_chain,
+    collaboration_graph,
+    core_periphery_graph,
+    gnm_random_graph,
+    hypercube_graph,
+    mesh_graph_3d,
+    plant_cliques,
+    powerlaw_cluster_graph,
+    random_geometric_graph,
+    relaxed_caveman_graph,
+    rmat_graph,
+    turan_graph,
+)
+
+
+def assert_valid(g: CSRGraph):
+    CSRGraph(g.indptr, g.indices, validate=True)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random_graph(100, 500, seed=1)
+        assert g.num_edges == 500
+        assert_valid(g)
+
+    def test_deterministic_under_seed(self):
+        a = gnm_random_graph(50, 100, seed=42)
+        b = gnm_random_graph(50, 100, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gnm_random_graph(50, 100, seed=1)
+        b = gnm_random_graph(50, 100, seed=2)
+        assert a != b
+
+    def test_zero_edges(self):
+        g = gnm_random_graph(10, 0, seed=0)
+        assert g.num_edges == 0
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 7, seed=0)
+
+    def test_complete_density(self):
+        g = gnm_random_graph(6, 15, seed=0)
+        assert g.num_edges == 15
+
+
+class TestPowerlawCluster:
+    def test_size_and_validity(self):
+        g = powerlaw_cluster_graph(200, 4, 0.5, seed=2)
+        assert g.num_vertices == 200
+        assert_valid(g)
+
+    def test_triad_closure_raises_triangles(self):
+        from repro.graphs import orient_by_order
+        from repro.triangles import count_triangles
+
+        lo = powerlaw_cluster_graph(300, 4, 0.0, seed=3)
+        hi = powerlaw_cluster_graph(300, 4, 0.9, seed=3)
+        t_lo = count_triangles(orient_by_order(lo, np.arange(300)))
+        t_hi = count_triangles(orient_by_order(hi, np.arange(300)))
+        assert t_hi > t_lo
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(3, 5, 0.5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+
+class TestStructuredFamilies:
+    def test_hypercube_regular(self):
+        g = hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert np.all(g.degrees == 4)
+        assert g.num_edges == 32
+
+    def test_hypercube_triangle_free(self):
+        from repro.graphs import orient_by_order
+        from repro.triangles import count_triangles
+
+        g = hypercube_graph(5)
+        assert count_triangles(orient_by_order(g, np.arange(32))) == 0
+
+    def test_bipartite_plus_line(self):
+        g = bipartite_plus_line_graph(6)
+        assert g.num_vertices == 12
+        # K_{6,6} has 36 edges + 5 path edges
+        assert g.num_edges == 41
+
+    def test_banded_structure(self):
+        g = banded_graph(20, 3)
+        assert g.has_edge(0, 3)
+        assert not g.has_edge(0, 4)
+        assert g.num_edges == 3 * 20 - (1 + 2 + 3)
+
+    def test_banded_window_is_clique(self):
+        from repro.baselines import brute_force_count
+
+        g = banded_graph(10, 4)
+        # vertices 0..4 pairwise within distance 4 -> 5-clique
+        assert brute_force_count(g, 5) == 6
+
+    def test_mesh_sizes(self):
+        g = mesh_graph_3d(3, 3, 3)
+        assert g.num_vertices == 27
+        assert_valid(g)
+
+    def test_mesh_no_diagonals_triangle_free(self):
+        from repro.graphs import orient_by_order
+        from repro.triangles import count_triangles
+
+        g = mesh_graph_3d(4, 4, 2, diagonals=False)
+        assert count_triangles(orient_by_order(g, np.arange(32))) == 0
+
+    def test_clique_chain_counts(self):
+        from repro.baselines import brute_force_count
+
+        g = clique_chain(3, 5, overlap=1)
+        # Each 5-clique contributes C(5,4)=5 4-cliques; overlap of 1 vertex
+        # cannot create extra 4-cliques.
+        assert brute_force_count(g, 5) == 3
+        assert brute_force_count(g, 4) == 15
+
+    def test_turan_free_of_big_clique(self):
+        from repro.baselines import brute_force_count
+
+        g = turan_graph(12, 3)
+        assert brute_force_count(g, 3) > 0
+        assert brute_force_count(g, 4) == 0
+
+
+class TestPlanted:
+    def test_planted_cliques_exist(self):
+        from repro.baselines import brute_force_count
+
+        base = gnm_random_graph(40, 60, seed=4)
+        g, planted = plant_cliques(base, [5, 6], seed=5)
+        assert len(planted) == 2
+        assert brute_force_count(g, 5) >= 1 + 6  # the 5-clique + C(6,5)
+        for members in planted:
+            for i in members.tolist():
+                for j in members.tolist():
+                    if i != j:
+                        assert g.has_edge(i, j)
+
+    def test_disjoint_overflow_rejected(self):
+        base = gnm_random_graph(8, 5, seed=1)
+        with pytest.raises(ValueError):
+            plant_cliques(base, [5, 5], seed=0)
+
+    def test_size_one_rejected(self):
+        base = gnm_random_graph(10, 5, seed=1)
+        with pytest.raises(ValueError):
+            plant_cliques(base, [1], seed=0)
+
+
+class TestRandomFamilies:
+    def test_rmat(self):
+        g = rmat_graph(7, 8, seed=6)
+        assert g.num_vertices == 128
+        assert_valid(g)
+
+    def test_rmat_invalid_probs(self):
+        with pytest.raises(ValueError):
+            rmat_graph(4, 4, a=0.9, b=0.9, c=0.9)
+
+    def test_geometric_radius_monotone(self):
+        small = random_geometric_graph(200, 0.05, seed=7)
+        big = random_geometric_graph(200, 0.15, seed=7)
+        assert big.num_edges > small.num_edges
+
+    def test_geometric_edges_within_radius(self):
+        # Regenerate points to verify distances (same seed path).
+        g = random_geometric_graph(100, 0.2, seed=8)
+        rng = np.random.default_rng(8)
+        pts = rng.random((100, 2))
+        us, vs = g.edge_array()
+        d2 = ((pts[us] - pts[vs]) ** 2).sum(axis=1)
+        assert np.all(d2 <= 0.2**2 + 1e-12)
+
+    def test_chung_lu_respects_weights(self):
+        w = np.concatenate([np.full(20, 30.0), np.full(180, 1.0)])
+        g = chung_lu_graph(w, seed=9)
+        heavy = g.degrees[:20].mean()
+        light = g.degrees[20:].mean()
+        assert heavy > 3 * light
+
+    def test_chung_lu_zero_weights(self):
+        g = chung_lu_graph(np.zeros(10), seed=0)
+        assert g.num_edges == 0
+
+    def test_caveman(self):
+        g = relaxed_caveman_graph(5, 6, 0.1, seed=10)
+        assert g.num_vertices == 30
+        assert_valid(g)
+
+    def test_collaboration(self):
+        g = collaboration_graph(200, 80, seed=11)
+        assert g.num_vertices == 200
+        assert_valid(g)
+
+    def test_core_periphery_core_denser(self):
+        g = core_periphery_graph(30, 300, p_core=0.5, attach=2, seed=12)
+        core_deg = g.degrees[:30].mean()
+        peri_deg = g.degrees[30:].mean()
+        assert core_deg > peri_deg
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            relaxed_caveman_graph(0, 5, 0.1)
+        with pytest.raises(ValueError):
+            core_periphery_graph(0, 10)
+        with pytest.raises(ValueError):
+            banded_graph(-1, 2)
+        with pytest.raises(ValueError):
+            collaboration_graph(1, 5)

@@ -1,0 +1,98 @@
+"""Unit tests for graph I/O round trips and malformed-input handling."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    gnm_random_graph,
+    load_npz,
+    read_edge_list,
+    read_mtx,
+    save_npz,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self, tmp_path):
+        g = gnm_random_graph(30, 90, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path, compact=False)
+        assert back == g
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n1 2\n# trailing\n")
+        g = read_edge_list(path, compact=False)
+        assert g.num_edges == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 3.5\n1 2 7.1\n")
+        g = read_edge_list(path, compact=False)
+        assert g.num_edges == 2
+
+    def test_compact_relabels_sparse_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1000 2000\n2000 3000\n")
+        g = read_edge_list(path, compact=True)
+        assert g.num_vertices == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path):
+        g = gnm_random_graph(50, 200, seed=2)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        assert load_npz(path) == g
+
+
+class TestMtx:
+    def test_pattern_symmetric(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% comment line\n"
+            "4 4 3\n"
+            "2 1\n"
+            "3 1\n"
+            "4 3\n"
+        )
+        g = read_mtx(path)
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.has_edge(0, 1)
+
+    def test_diagonal_entries_dropped(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 3\n1 1\n2 1\n3 2\n"
+        )
+        g = read_mtx(path)
+        assert g.num_edges == 2
+
+    def test_not_mtx_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("garbage\n")
+        with pytest.raises(ValueError):
+            read_mtx(path)
+
+    def test_dense_array_format_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n")
+        with pytest.raises(ValueError):
+            read_mtx(path)

@@ -1,0 +1,84 @@
+"""Unit tests for k-core / triangle kernelization."""
+
+import numpy as np
+import pytest
+
+from repro import count_cliques
+from repro.baselines import brute_force_count, brute_force_list
+from repro.graphs import (
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    kcore_kernel,
+    plant_cliques,
+    triangle_kernel,
+)
+
+
+class TestKCoreKernel:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_preserves_clique_count(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            kern = kcore_kernel(g, k)
+            assert count_cliques(kern.graph, k).count == brute_force_count(g, k)
+
+    def test_shrinks_sparse_graph(self):
+        base = gnm_random_graph(300, 450, seed=1)  # avg degree 3
+        g, _ = plant_cliques(base, [8], seed=2)
+        kern = kcore_kernel(g, 8)
+        assert kern.graph.num_vertices < g.num_vertices
+
+    def test_lift_maps_back(self):
+        base = gnm_random_graph(100, 150, seed=3)
+        g, planted = plant_cliques(base, [6], seed=4)
+        kern = kcore_kernel(g, 6)
+        cliques = [
+            kern.lift(c)
+            for c in brute_force_list(kern.graph, 6)
+        ] if kern.graph.num_vertices <= 64 else []
+        expected = tuple(sorted(planted[0].tolist()))
+        assert expected in cliques
+
+    def test_trivial_k_identity(self):
+        g = gnm_random_graph(20, 50, seed=5)
+        kern = kcore_kernel(g, 2)
+        assert kern.graph is g
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kcore_kernel(empty_graph(3), 0)
+
+    def test_empty_graph(self):
+        kern = kcore_kernel(empty_graph(0), 5)
+        assert kern.graph.num_vertices == 0
+
+
+class TestTriangleKernel:
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_preserves_clique_count(self, k, small_random_graphs):
+        for g in small_random_graphs:
+            kern = triangle_kernel(g, k)
+            assert count_cliques(kern.graph, k).count == brute_force_count(g, k)
+
+    def test_stronger_than_kcore(self):
+        # A graph that is a 4-core but nearly triangle-free shrinks under
+        # the triangle filter only.
+        from repro.graphs import hypercube_graph
+
+        g = hypercube_graph(5)  # 5-regular, triangle-free
+        kc = kcore_kernel(g, 5)
+        tk = triangle_kernel(g, 5)
+        assert kc.graph.num_vertices == 32  # 4-core keeps everything
+        assert tk.graph.num_edges == 0  # no edge is in any triangle
+
+    def test_planted_clique_survives(self):
+        base = gnm_random_graph(200, 300, seed=6)
+        g, planted = plant_cliques(base, [7], seed=7)
+        kern = triangle_kernel(g, 7)
+        kept = set(kern.labels.tolist())
+        assert set(planted[0].tolist()) <= kept
+
+    def test_k3_falls_back_to_core(self):
+        g = gnm_random_graph(20, 60, seed=8)
+        kern = triangle_kernel(g, 3)
+        assert count_cliques(kern.graph, 3).count == brute_force_count(g, 3)

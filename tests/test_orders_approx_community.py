@@ -1,0 +1,87 @@
+"""Unit tests for Algorithm 4: (3+ε)-approximate community order."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    gnm_random_graph,
+    hypercube_graph,
+    relaxed_caveman_graph,
+)
+from repro.orders import (
+    approx_community_order,
+    candidate_sets_from_rank,
+    community_degeneracy_order,
+)
+
+
+class TestLemma44:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("eps", [0.25, 0.5, 1.0])
+    def test_candidate_sets_within_3_plus_eps_sigma(self, seed, eps):
+        g = gnm_random_graph(40, 180, seed=seed)
+        sigma = community_degeneracy_order(g).sigma
+        res = approx_community_order(g, eps=eps)
+        indptr, _ = candidate_sets_from_rank(g, res.edge_rank)
+        sizes = np.diff(indptr)
+        assert sizes.max(initial=0) <= (3 + eps) * max(sigma, 0) + 1e-9
+
+    def test_dense_modules(self):
+        g = relaxed_caveman_graph(6, 8, 0.1, seed=1)
+        sigma = community_degeneracy_order(g).sigma
+        res = approx_community_order(g, eps=0.5)
+        indptr, _ = candidate_sets_from_rank(g, res.edge_rank)
+        assert np.diff(indptr).max(initial=0) <= 3.5 * sigma
+
+
+class TestObservation6:
+    def test_round_count_logarithmic(self):
+        g = gnm_random_graph(300, 1500, seed=2)
+        res = approx_community_order(g, eps=0.5)
+        # O(log_{1.5} m) with m=1500 is ~18; generous slack for constants.
+        assert res.num_rounds <= 40
+
+    def test_triangle_free_single_round(self):
+        # No triangles: every edge has count 0 <= threshold immediately.
+        res = approx_community_order(hypercube_graph(4))
+        assert res.num_rounds == 1
+
+
+class TestOrderShape:
+    def test_rank_is_permutation(self):
+        g = gnm_random_graph(40, 160, seed=3)
+        res = approx_community_order(g)
+        assert np.array_equal(np.sort(res.edge_rank), np.arange(g.num_edges))
+
+    def test_sigma_bound_at_least_exact(self):
+        # The removal-time bound can exceed σ but not (3+ε)σ.
+        g = gnm_random_graph(40, 200, seed=4)
+        exact = community_degeneracy_order(g).sigma
+        approx = approx_community_order(g, eps=0.5).sigma
+        assert approx <= (3 + 0.5) * max(exact, 1)
+
+    def test_empty_graph(self):
+        res = approx_community_order(empty_graph(4))
+        assert res.edge_rank.size == 0
+        assert res.num_rounds == 0
+
+    def test_complete_graph(self):
+        res = approx_community_order(complete_graph(7), eps=0.5)
+        assert np.array_equal(np.sort(res.edge_rank), np.arange(21))
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValueError):
+            approx_community_order(empty_graph(3), eps=0.0)
+
+
+class TestDepthCost:
+    def test_low_depth_charged(self):
+        from repro.pram.tracker import Tracker
+
+        g = gnm_random_graph(200, 1000, seed=5)
+        t = Tracker()
+        res = approx_community_order(g, eps=0.5, tracker=t)
+        # Triangle listing is polylog; rounds each add O(log m).
+        assert t.depth < g.num_edges

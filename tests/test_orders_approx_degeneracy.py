@@ -1,0 +1,93 @@
+"""Unit tests for the (2+ε)-approximate degeneracy order (Lemma 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    gnm_random_graph,
+    orient_by_order,
+    powerlaw_cluster_graph,
+)
+from repro.orders import approx_degeneracy_order, degeneracy_order
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("eps", [0.1, 0.25, 0.5, 1.0])
+    def test_out_degree_within_2_plus_eps(self, seed, eps):
+        g = gnm_random_graph(80, 320, seed=seed)
+        s = degeneracy_order(g).degeneracy
+        res = approx_degeneracy_order(g, eps=eps)
+        dag = orient_by_order(g, res.order)
+        assert dag.max_out_degree <= 2 * (1 + eps) * s
+
+    def test_powerlaw_graph(self):
+        g = powerlaw_cluster_graph(300, 4, 0.5, seed=1)
+        s = degeneracy_order(g).degeneracy
+        res = approx_degeneracy_order(g, eps=0.25)
+        dag = orient_by_order(g, res.order)
+        assert dag.max_out_degree <= 2.5 * s
+
+
+class TestRounds:
+    def test_round_count_logarithmic(self):
+        g = gnm_random_graph(1000, 4000, seed=2)
+        res = approx_degeneracy_order(g, eps=0.5)
+        # log_{1.5}(1000) ~ 17; allow generous slack over the bound's constant.
+        assert res.num_rounds <= 40
+
+    def test_rounds_shrink_with_bigger_eps(self):
+        g = gnm_random_graph(500, 2500, seed=3)
+        loose = approx_degeneracy_order(g, eps=2.0).num_rounds
+        tight = approx_degeneracy_order(g, eps=0.1).num_rounds
+        assert loose <= tight
+
+    def test_round_of_matches_order(self):
+        g = gnm_random_graph(60, 200, seed=4)
+        res = approx_degeneracy_order(g)
+        rounds_in_order = res.round_of[res.order]
+        assert np.all(np.diff(rounds_in_order) >= 0)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        res = approx_degeneracy_order(empty_graph(7))
+        assert res.num_rounds == 1
+        assert np.array_equal(np.sort(res.order), np.arange(7))
+
+    def test_no_vertices(self):
+        res = approx_degeneracy_order(empty_graph(0))
+        assert res.order.size == 0
+        assert res.num_rounds == 0
+
+    def test_complete_graph_single_round(self):
+        # All degrees equal the average: everything peels in round one.
+        res = approx_degeneracy_order(complete_graph(10), eps=0.5)
+        assert res.num_rounds == 1
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValueError):
+            approx_degeneracy_order(empty_graph(3), eps=0.0)
+        with pytest.raises(ValueError):
+            approx_degeneracy_order(empty_graph(3), eps=-1.0)
+
+    def test_order_is_permutation(self):
+        g = gnm_random_graph(33, 90, seed=5)
+        res = approx_degeneracy_order(g)
+        assert np.array_equal(np.sort(res.order), np.arange(33))
+
+
+class TestDepthCost:
+    def test_polylog_depth_charged(self):
+        from repro.pram.tracker import Tracker
+
+        g = gnm_random_graph(400, 1600, seed=6)
+        t = Tracker()
+        res = approx_degeneracy_order(g, eps=0.5, tracker=t)
+        # Depth should be O(rounds * log n), far below n.
+        from repro.pram.primitives import log2p1
+
+        assert t.depth < 400
+        assert t.depth <= res.num_rounds * (2 * log2p1(400) + 2) + 1

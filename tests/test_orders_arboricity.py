@@ -1,0 +1,83 @@
+"""Unit tests for forest decomposition and arboricity estimates."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    hypercube_graph,
+)
+from repro.orders import arboricity_estimate, forest_decomposition, degeneracy_order
+from tests.conftest import nx_graph
+
+
+class TestForestDecomposition:
+    def test_partitions_all_edges(self):
+        g = gnm_random_graph(30, 140, seed=1)
+        fd = forest_decomposition(g)
+        covered = np.concatenate(fd.forests) if fd.forests else np.array([])
+        assert sorted(covered.tolist()) == list(range(g.num_edges))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_each_part_is_a_forest(self, seed):
+        import networkx as nx
+
+        g = gnm_random_graph(25, 100 + 15 * seed, seed=seed)
+        fd = forest_decomposition(g)
+        for i in range(fd.num_forests):
+            us, vs = fd.forest_edges(i)
+            f = nx.Graph()
+            f.add_edges_from(zip(us.tolist(), vs.tolist()))
+            assert nx.is_forest(f)
+
+    def test_tree_is_one_forest(self):
+        g = from_edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+        assert forest_decomposition(g).num_forests == 1
+
+    def test_empty_graph(self):
+        fd = forest_decomposition(empty_graph(5))
+        assert fd.num_forests == 0
+
+    def test_complete_graph_forest_count(self):
+        # K_n has arboricity ceil(n/2); greedy spanning-forest peel is
+        # exact here (each forest is a spanning tree + leftovers).
+        fd = forest_decomposition(complete_graph(8))
+        assert 4 <= fd.num_forests <= 8
+
+
+class TestArboricityEstimate:
+    def test_brackets_are_ordered(self):
+        for seed in range(4):
+            g = gnm_random_graph(30, 120 + 20 * seed, seed=seed)
+            lo, hi = arboricity_estimate(g)
+            assert 1 <= lo <= hi
+
+    def test_known_complete_graph(self):
+        # alpha(K_8) = 4.
+        lo, hi = arboricity_estimate(complete_graph(8))
+        assert lo <= 4 <= hi
+
+    def test_tree(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        assert arboricity_estimate(g) == (1, 1)
+
+    def test_hypercube(self):
+        # alpha(Q_4) = ceil(32/15) = 3.
+        lo, hi = arboricity_estimate(hypercube_graph(4))
+        assert lo <= 3 <= hi
+
+    def test_empty(self):
+        assert arboricity_estimate(empty_graph(3)) == (0, 0)
+
+    def test_relation_to_degeneracy(self):
+        # alpha <= s < 2*alpha (§1.1): the bracket must intersect
+        # [ceil((s+1)/2), s].
+        for seed in range(4):
+            g = gnm_random_graph(35, 180, seed=seed + 10)
+            s = degeneracy_order(g).degeneracy
+            lo, hi = arboricity_estimate(g)
+            assert lo <= s  # alpha <= s
+            assert hi >= (s + 1) // 2  # alpha > s/2

@@ -1,0 +1,132 @@
+"""Unit tests for the exact community-degeneracy edge order (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    bipartite_plus_line_graph,
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    hypercube_graph,
+)
+from repro.orders import (
+    candidate_sets_from_rank,
+    community_degeneracy,
+    community_degeneracy_order,
+    degeneracy_order,
+    undirected_edge_ids,
+    undirected_triangles,
+)
+
+
+class TestEdgeIds:
+    def test_ids_cover_all_edges(self):
+        g = gnm_random_graph(30, 90, seed=1)
+        us, vs, codes = undirected_edge_ids(g)
+        assert us.size == g.num_edges
+        assert np.all(us < vs)
+        assert np.all(np.diff(codes) > 0)  # sorted, unique
+
+    def test_lookup_round_trip(self):
+        g = gnm_random_graph(30, 90, seed=1)
+        us, vs, codes = undirected_edge_ids(g)
+        n = g.num_vertices
+        for j in range(0, g.num_edges, 11):
+            key = int(us[j]) * n + int(vs[j])
+            assert np.searchsorted(codes, key) == j
+
+
+class TestUndirectedTriangles:
+    def test_triangle_count_matches_nx(self):
+        import networkx as nx
+        from tests.conftest import nx_graph
+
+        g = gnm_random_graph(50, 250, seed=2)
+        tri, tri_eids = undirected_triangles(g)
+        expected = sum(nx.triangles(nx_graph(g)).values()) // 3
+        assert tri.shape[0] == expected
+        assert tri_eids.shape == (expected, 3)
+
+    def test_triangle_edges_are_real(self):
+        g = gnm_random_graph(40, 200, seed=3)
+        tri, tri_eids = undirected_triangles(g)
+        us, vs, _ = undirected_edge_ids(g)
+        for t in range(0, tri.shape[0], 13):
+            a, b, c = tri[t]
+            assert a < b < c
+            for eid, pair in zip(tri_eids[t], [(a, b), (a, c), (b, c)]):
+                assert (us[eid], vs[eid]) == pair
+
+    def test_triangle_free(self):
+        tri, tri_eids = undirected_triangles(hypercube_graph(4))
+        assert tri.shape[0] == 0
+
+
+class TestKnownSigma:
+    def test_hypercube_sigma_zero(self):
+        # §1.1: hypercube has degeneracy d but community degeneracy 0.
+        assert community_degeneracy(hypercube_graph(4)) == 0
+
+    def test_bipartite_plus_line_sigma_small(self):
+        # §1.1: K_{n/2,n/2} + path has degeneracy Θ(n), σ small.
+        g = bipartite_plus_line_graph(10)
+        s = degeneracy_order(g).degeneracy
+        sigma = community_degeneracy(g)
+        assert sigma <= 2
+        assert s >= 9
+
+    def test_complete_graph_sigma(self):
+        # Every edge of K_n is in n-2 triangles.
+        assert community_degeneracy(complete_graph(6)) == 4
+
+    def test_sigma_strictly_below_s_with_triangles(self):
+        # σ < s whenever the graph has an edge (paper §1.1).
+        for seed in range(4):
+            g = gnm_random_graph(40, 200, seed=seed)
+            assert community_degeneracy(g) < degeneracy_order(g).degeneracy
+
+    def test_empty_graph(self):
+        res = community_degeneracy_order(empty_graph(5))
+        assert res.sigma == 0
+        assert res.edge_rank.size == 0
+
+
+class TestGreedyOrderProperties:
+    def test_rank_is_permutation(self):
+        g = gnm_random_graph(30, 120, seed=5)
+        res = community_degeneracy_order(g)
+        assert np.array_equal(np.sort(res.edge_rank), np.arange(g.num_edges))
+
+    def test_candidate_sets_bounded_by_sigma(self):
+        for seed in range(4):
+            g = gnm_random_graph(35, 150, seed=seed + 10)
+            res = community_degeneracy_order(g)
+            indptr, members = candidate_sets_from_rank(g, res.edge_rank)
+            sizes = np.diff(indptr)
+            assert sizes.max(initial=0) <= res.sigma
+
+    def test_candidate_sets_partition_triangles(self):
+        g = gnm_random_graph(35, 150, seed=20)
+        res = community_degeneracy_order(g)
+        tri, _ = undirected_triangles(g)
+        indptr, members = candidate_sets_from_rank(g, res.edge_rank)
+        assert members.size == tri.shape[0]
+
+    def test_candidate_members_adjacent_to_both_endpoints(self):
+        g = gnm_random_graph(30, 140, seed=21)
+        res = community_degeneracy_order(g)
+        indptr, members = candidate_sets_from_rank(g, res.edge_rank)
+        us, vs, _ = undirected_edge_ids(g)
+        for eid in range(g.num_edges):
+            for w in members[indptr[eid] : indptr[eid + 1]].tolist():
+                assert g.has_edge(int(us[eid]), w)
+                assert g.has_edge(int(vs[eid]), w)
+
+    def test_clique_chain_sigma(self):
+        # Inside a 6-clique every edge has 4 triangles; greedy peeling
+        # reduces that: sigma = 4 for a chain of 6-cliques.
+        g = clique_chain(3, 6, overlap=1)
+        assert community_degeneracy(g) == 4

@@ -1,0 +1,112 @@
+"""Unit tests for the exact degeneracy order (Matula–Beck peeling)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    clique_chain,
+    complete_graph,
+    empty_graph,
+    from_edges,
+    gnm_random_graph,
+    hypercube_graph,
+    orient_by_order,
+)
+from repro.orders import core_numbers, degeneracy_order
+from tests.conftest import nx_graph
+
+
+class TestKnownValues:
+    def test_complete_graph(self):
+        res = degeneracy_order(complete_graph(7))
+        assert res.degeneracy == 6
+
+    def test_tree_is_1_degenerate(self):
+        g = from_edges([(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+        assert degeneracy_order(g).degeneracy == 1
+
+    def test_cycle_is_2_degenerate(self):
+        g = from_edges([(i, (i + 1) % 6) for i in range(6)])
+        assert degeneracy_order(g).degeneracy == 2
+
+    def test_star_is_1_degenerate(self):
+        # §1.1: the star has unbounded max degree but degeneracy 1.
+        g = from_edges([(0, i) for i in range(1, 30)])
+        res = degeneracy_order(g)
+        assert res.degeneracy == 1
+        assert g.degree(0) == 29
+
+    def test_hypercube(self):
+        # §1.1: the d-dimensional hypercube has degeneracy d.
+        assert degeneracy_order(hypercube_graph(4)).degeneracy == 4
+
+    def test_empty(self):
+        res = degeneracy_order(empty_graph(5))
+        assert res.degeneracy == 0
+        assert res.order.size == 5
+
+    def test_no_vertices(self):
+        res = degeneracy_order(empty_graph(0))
+        assert res.order.size == 0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_core_numbers_match(self, seed):
+        import networkx as nx
+
+        g = gnm_random_graph(60, 200 + 10 * seed, seed=seed)
+        ours = core_numbers(g)
+        theirs = nx.core_number(nx_graph(g))
+        assert all(ours[v] == theirs[v] for v in range(60))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_degeneracy_matches(self, seed):
+        import networkx as nx
+
+        g = gnm_random_graph(60, 150 + 20 * seed, seed=seed + 100)
+        assert degeneracy_order(g).degeneracy == max(
+            nx.core_number(nx_graph(g)).values()
+        )
+
+
+class TestOrderProperty:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_out_degree_bounded_by_degeneracy(self, seed):
+        g = gnm_random_graph(80, 300, seed=seed)
+        res = degeneracy_order(g)
+        dag = orient_by_order(g, res.order)
+        assert dag.max_out_degree <= res.degeneracy
+
+    def test_order_is_permutation(self):
+        g = gnm_random_graph(40, 100, seed=9)
+        res = degeneracy_order(g)
+        assert np.array_equal(np.sort(res.order), np.arange(40))
+
+    def test_rank_inverts_order(self):
+        g = gnm_random_graph(40, 100, seed=9)
+        res = degeneracy_order(g)
+        assert np.array_equal(res.order[res.rank], np.arange(40))
+
+    def test_clique_chain_degeneracy(self):
+        # Chain of 5-cliques has degeneracy 4.
+        g = clique_chain(4, 5, overlap=1)
+        assert degeneracy_order(g).degeneracy == 4
+
+    def test_core_monotone_along_order(self):
+        # Core numbers are non-decreasing in removal order.
+        g = gnm_random_graph(60, 240, seed=12)
+        res = degeneracy_order(g)
+        cores_in_order = res.core[res.order]
+        assert np.all(np.diff(cores_in_order) >= 0)
+
+
+class TestCost:
+    def test_linear_depth_charged(self):
+        from repro.pram.tracker import Tracker
+
+        g = gnm_random_graph(100, 300, seed=1)
+        t = Tracker()
+        degeneracy_order(g, tracker=t)
+        assert t.depth >= 100  # Θ(n) sequential peel
+        assert t.work >= t.depth

@@ -1,0 +1,91 @@
+"""Unit tests for the ordering heuristics (related work [36])."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import gnm_random_graph, orient_by_order, powerlaw_cluster_graph
+from repro.orders import (
+    degeneracy_order,
+    degree_order,
+    fill_order,
+    random_order,
+    triangle_order,
+)
+
+
+ALL_HEURISTICS = [
+    ("degree", lambda g: degree_order(g)),
+    ("triangle", lambda g: triangle_order(g)),
+    ("fill", lambda g: fill_order(g)),
+    ("random", lambda g: random_order(g, seed=7)),
+]
+
+
+class TestPermutations:
+    @pytest.mark.parametrize("name,fn", ALL_HEURISTICS)
+    def test_is_permutation(self, name, fn):
+        g = gnm_random_graph(50, 220, seed=1)
+        order = fn(g)
+        assert np.array_equal(np.sort(order), np.arange(50)), name
+
+    @pytest.mark.parametrize("name,fn", ALL_HEURISTICS)
+    def test_orientable(self, name, fn):
+        g = gnm_random_graph(50, 220, seed=2)
+        dag = orient_by_order(g, fn(g))
+        assert dag.num_edges == g.num_edges
+
+    @pytest.mark.parametrize("name,fn", ALL_HEURISTICS)
+    def test_count_invariance(self, name, fn):
+        from repro.core.clique_listing import count_cliques_on_dag
+        from repro.pram.tracker import Tracker
+        from repro.baselines import brute_force_count
+
+        g = gnm_random_graph(25, 110, seed=3)
+        dag = orient_by_order(g, fn(g))
+        assert (
+            count_cliques_on_dag(dag, 4, Tracker()).count
+            == brute_force_count(g, 4)
+        ), name
+
+
+class TestQuality:
+    def test_degree_order_sorted(self):
+        g = gnm_random_graph(40, 160, seed=4)
+        order = degree_order(g)
+        degs = g.degrees[order]
+        assert np.all(np.diff(degs) >= 0)
+
+    def test_degree_order_beats_random_on_powerlaw(self):
+        g = powerlaw_cluster_graph(300, 4, 0.4, seed=5)
+        deg_dag = orient_by_order(g, degree_order(g))
+        rnd_dag = orient_by_order(g, random_order(g, seed=6))
+        assert deg_dag.max_out_degree <= rnd_dag.max_out_degree
+
+    def test_fill_order_near_degeneracy(self):
+        g = powerlaw_cluster_graph(300, 4, 0.4, seed=7)
+        s = degeneracy_order(g).degeneracy
+        fill_dag = orient_by_order(g, fill_order(g))
+        # Not guaranteed <= s, but should stay within a small factor.
+        assert fill_dag.max_out_degree <= 3 * s
+
+    def test_triangle_order_defers_triangle_hubs(self):
+        g = powerlaw_cluster_graph(200, 4, 0.8, seed=8)
+        order = triangle_order(g)
+        from repro.graphs import orient_by_order as orient
+        from repro.triangles import list_triangles
+
+        n = g.num_vertices
+        dag = orient(g, np.arange(n))
+        tri = list_triangles(dag)
+        participation = np.zeros(n, dtype=np.int64)
+        np.add.at(participation, tri.ravel().astype(np.int64), 1)
+        # The last decile of the order holds more triangles than the first.
+        decile = n // 10
+        first = participation[order[:decile]].sum()
+        last = participation[order[-decile:]].sum()
+        assert last >= first
+
+    def test_random_order_deterministic_under_seed(self):
+        g = gnm_random_graph(30, 90, seed=9)
+        assert np.array_equal(random_order(g, seed=1), random_order(g, seed=1))
+        assert not np.array_equal(random_order(g, seed=1), random_order(g, seed=2))

@@ -1,0 +1,54 @@
+"""Unit tests for the orientation façade and order diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import gnm_random_graph
+from repro.orders import order_quality, oriented_by
+from repro.orders.degeneracy import degeneracy_order
+
+
+class TestOrientedBy:
+    @pytest.mark.parametrize(
+        "kind", ["degeneracy", "approx-degeneracy", "degree", "id"]
+    )
+    def test_all_kinds_produce_valid_dags(self, kind):
+        g = gnm_random_graph(40, 160, seed=1)
+        dag = oriented_by(g, kind=kind)
+        assert dag.num_edges == g.num_edges
+        for v in range(40):
+            assert np.all(dag.out_neighbors(v) > v)
+
+    def test_degeneracy_kind_minimizes_out_degree(self):
+        g = gnm_random_graph(60, 300, seed=2)
+        s = degeneracy_order(g).degeneracy
+        exact = oriented_by(g, "degeneracy")
+        ident = oriented_by(g, "id")
+        assert exact.max_out_degree <= s
+        assert exact.max_out_degree <= ident.max_out_degree
+
+    def test_unknown_kind_rejected(self):
+        g = gnm_random_graph(10, 20, seed=3)
+        with pytest.raises(ValueError):
+            oriented_by(g, "lexicographic")
+
+
+class TestOrderQuality:
+    def test_gamma_below_out_degree(self):
+        # γ <= s̃ - 1 (§4.1: community size is at most max out-degree - 1).
+        g = gnm_random_graph(50, 250, seed=4)
+        q = order_quality(oriented_by(g, "degeneracy"))
+        assert q.max_community <= max(q.max_out_degree - 1, 0)
+
+    def test_quality_reports_edges_and_triangles(self):
+        g = gnm_random_graph(50, 250, seed=4)
+        q = order_quality(oriented_by(g, "degeneracy"))
+        assert q.num_edges == 250
+        assert q.num_triangles >= 0
+
+    def test_triangle_count_invariant_under_order(self):
+        g = gnm_random_graph(50, 250, seed=5)
+        qa = order_quality(oriented_by(g, "degeneracy"))
+        qb = order_quality(oriented_by(g, "id"))
+        qc = order_quality(oriented_by(g, "approx-degeneracy"))
+        assert qa.num_triangles == qb.num_triangles == qc.num_triangles

@@ -1,0 +1,100 @@
+"""Unit tests for the work/depth cost algebra."""
+
+import math
+
+import pytest
+
+from repro.pram.cost import Cost, ZERO, par, par_for, seq
+
+
+class TestCostConstruction:
+    def test_default_is_zero(self):
+        assert Cost() == ZERO
+        assert ZERO.is_zero()
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(-1, 0)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(0, -1)
+
+    def test_frozen(self):
+        c = Cost(1, 1)
+        with pytest.raises(Exception):
+            c.work = 5
+
+
+class TestComposition:
+    def test_sequential_adds_both(self):
+        assert Cost(3, 2) + Cost(5, 4) == Cost(8, 6)
+
+    def test_parallel_adds_work_maxes_depth(self):
+        assert Cost(3, 2) | Cost(5, 4) == Cost(8, 4)
+
+    def test_zero_is_identity_for_both(self):
+        c = Cost(7, 3)
+        assert c + ZERO == c
+        assert c | ZERO == c
+
+    def test_seq_and_par_varargs(self):
+        costs = [Cost(1, 1), Cost(2, 2), Cost(3, 3)]
+        assert seq(*costs) == Cost(6, 6)
+        assert par(*costs) == Cost(6, 3)
+
+    def test_parallel_is_commutative(self):
+        a, b = Cost(2, 9), Cost(10, 1)
+        assert (a | b) == (b | a)
+
+    def test_scalar_multiplication(self):
+        assert Cost(2, 3) * 4 == Cost(8, 12)
+        assert 4 * Cost(2, 3) == Cost(8, 12)
+
+    def test_negative_repeat_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(1, 1) * -1
+
+    def test_spread_keeps_depth(self):
+        assert Cost(2, 3).spread(5) == Cost(10, 3)
+        assert Cost(2, 3).spread(0) == ZERO
+
+    def test_spread_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(1, 1).spread(-2)
+
+
+class TestBrentTime:
+    def test_one_processor_is_work_plus_depth(self):
+        assert Cost(100, 10).time_on(1) == 110
+
+    def test_time_decreases_with_processors(self):
+        c = Cost(1000, 10)
+        times = [c.time_on(p) for p in (1, 2, 4, 8, 64)]
+        assert times == sorted(times, reverse=True)
+
+    def test_depth_is_the_floor(self):
+        c = Cost(1000, 10)
+        assert c.time_on(10**9) == pytest.approx(10, rel=1e-3)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(1, 1).time_on(0)
+
+
+class TestParFor:
+    def test_empty_loop_is_free(self):
+        assert par_for(0, Cost(5, 5)) == ZERO
+
+    def test_work_scales_depth_does_not(self):
+        c = par_for(1024, Cost(3, 2))
+        assert c.work == 3 * 1024
+        assert c.depth == 2 + math.ceil(math.log2(1025))
+
+    def test_no_spawn_depth(self):
+        c = par_for(1024, Cost(3, 2), spawn_depth=False)
+        assert c.depth == 2
+
+    def test_negative_trip_count_rejected(self):
+        with pytest.raises(ValueError):
+            par_for(-1, Cost(1, 1))

@@ -1,0 +1,77 @@
+"""Unit tests for the process-based parallel executor."""
+
+import numpy as np
+import pytest
+
+from repro.pram.executor import available_workers, chunk_indices, parallel_map_reduce
+
+
+def _square_sum(block):
+    return int((np.asarray(block) ** 2).sum())
+
+
+def _square_sum_with_arg(block, offset):
+    return int(((np.asarray(block) + offset) ** 2).sum())
+
+
+class TestChunking:
+    def test_chunks_cover_range(self):
+        blocks = chunk_indices(100, 7)
+        joined = np.concatenate(blocks)
+        assert np.array_equal(np.sort(joined), np.arange(100))
+
+    def test_empty_range(self):
+        assert chunk_indices(0, 4) == []
+
+    def test_more_chunks_than_items(self):
+        blocks = chunk_indices(3, 10)
+        assert len(blocks) == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+
+
+class TestWorkers:
+    def test_one_worker_allowed(self):
+        assert available_workers(1) == 1
+
+    def test_requested_clamped_to_cpus(self):
+        import os
+
+        assert available_workers(10**6) <= (os.cpu_count() or 1)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            available_workers(0)
+
+
+class TestMapReduce:
+    def test_sequential_path(self):
+        got = parallel_map_reduce(_square_sum, 100, n_workers=1)
+        assert got == sum(i * i for i in range(100))
+
+    def test_empty_range_returns_none(self):
+        assert parallel_map_reduce(_square_sum, 0, n_workers=1) is None
+
+    def test_extra_args_forwarded(self):
+        got = parallel_map_reduce(
+            _square_sum_with_arg, 10, args=(5,), n_workers=1
+        )
+        assert got == sum((i + 5) ** 2 for i in range(10))
+
+    def test_custom_combine(self):
+        got = parallel_map_reduce(
+            lambda block: int(np.max(block)),
+            50,
+            combine=max,
+            n_workers=1,
+        )
+        assert got == 49
+
+    def test_multiprocess_path_matches_sequential(self):
+        seq = parallel_map_reduce(_square_sum, 200, n_workers=1)
+        par = parallel_map_reduce(_square_sum, 200, n_workers=2)
+        assert seq == par

@@ -1,0 +1,158 @@
+"""Unit tests for the instrumented PRAM primitives."""
+
+import numpy as np
+import pytest
+
+from repro.pram.primitives import (
+    log2p1,
+    phistogram,
+    pintersect_sorted,
+    pmerge_sorted,
+    ppack,
+    preduce,
+    pscan,
+    psort,
+)
+from repro.pram.tracker import Tracker
+
+
+class TestLog2p1:
+    def test_zero(self):
+        assert log2p1(0) == 0.0
+
+    def test_powers(self):
+        assert log2p1(1) == 1.0
+        assert log2p1(3) == 2.0
+        assert log2p1(7) == 3.0
+
+
+class TestReduce:
+    def test_sum(self):
+        assert preduce(np.array([1, 2, 3, 4])) == 10
+
+    def test_max_min(self):
+        a = np.array([3, 1, 4, 1, 5])
+        assert preduce(a, "max") == 5
+        assert preduce(a, "min") == 1
+
+    def test_empty_sum_is_zero(self):
+        assert preduce(np.array([])) == 0.0
+
+    def test_empty_max_rejected(self):
+        with pytest.raises(ValueError):
+            preduce(np.array([]), "max")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            preduce(np.array([1]), "median")
+
+    def test_charges_linear_work_log_depth(self):
+        t = Tracker()
+        preduce(np.arange(1024), tracker=t)
+        assert t.work == 1024
+        assert t.depth == pytest.approx(log2p1(1024))
+
+
+class TestScan:
+    def test_exclusive(self):
+        out = pscan(np.array([1, 2, 3, 4]))
+        assert np.array_equal(out, [0, 1, 3, 6])
+
+    def test_inclusive(self):
+        out = pscan(np.array([1, 2, 3, 4]), inclusive=True)
+        assert np.array_equal(out, [1, 3, 6, 10])
+
+    def test_empty(self):
+        assert pscan(np.array([], dtype=np.int64)).size == 0
+
+    def test_cost_charged(self):
+        t = Tracker()
+        pscan(np.arange(100), tracker=t)
+        assert t.work == 200
+
+
+class TestPack:
+    def test_filters_by_mask(self):
+        vals = np.array([10, 20, 30, 40])
+        mask = np.array([True, False, True, False])
+        assert np.array_equal(ppack(vals, mask), [10, 30])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ppack(np.arange(3), np.array([True]))
+
+
+class TestSort:
+    def test_sorts(self):
+        out = psort(np.array([3, 1, 2]))
+        assert np.array_equal(out, [1, 2, 3])
+
+    def test_nlogn_work(self):
+        t = Tracker()
+        psort(np.arange(1023, -1, -1), tracker=t)
+        assert t.work == 1024 * log2p1(1024)
+
+    def test_input_not_mutated(self):
+        a = np.array([3, 1, 2])
+        psort(a)
+        assert np.array_equal(a, [3, 1, 2])
+
+
+class TestIntersect:
+    def test_basic(self):
+        a = np.array([1, 3, 5, 7])
+        b = np.array([3, 4, 5, 6])
+        assert np.array_equal(pintersect_sorted(a, b), [3, 5])
+
+    def test_disjoint(self):
+        assert pintersect_sorted(np.array([1, 2]), np.array([3, 4])).size == 0
+
+    def test_empty_operand(self):
+        assert pintersect_sorted(np.array([], dtype=int), np.array([1])).size == 0
+
+    def test_linear_work(self):
+        t = Tracker()
+        pintersect_sorted(np.arange(10), np.arange(5, 20), tracker=t)
+        assert t.work == 25
+
+
+class TestHistogramAndMerge:
+    def test_histogram(self):
+        out = phistogram(np.array([0, 1, 1, 3]), nbins=5)
+        assert np.array_equal(out, [1, 2, 0, 1, 0])
+
+    def test_merge(self):
+        out = pmerge_sorted(np.array([1, 4, 6]), np.array([2, 3, 7]))
+        assert np.array_equal(out, [1, 2, 3, 4, 6, 7])
+
+
+class TestCompactRanges:
+    def test_offsets_from_lengths(self):
+        import numpy as np
+
+        from repro.pram.primitives import pcompact_ranges
+
+        starts = np.array([0, 0, 0])
+        lengths = np.array([3, 0, 5])
+        offsets, total = pcompact_ranges(starts, lengths)
+        assert offsets.tolist() == [0, 3, 3]
+        assert int(total) == 8
+
+    def test_empty(self):
+        import numpy as np
+
+        from repro.pram.primitives import pcompact_ranges
+
+        offsets, total = pcompact_ranges(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert offsets.size == 0 and int(total) == 0
+
+    def test_shape_mismatch_rejected(self):
+        import numpy as np
+        import pytest
+
+        from repro.pram.primitives import pcompact_ranges
+
+        with pytest.raises(ValueError):
+            pcompact_ranges(np.zeros(2), np.zeros(3))

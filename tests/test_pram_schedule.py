@@ -1,0 +1,98 @@
+"""Unit tests for the Brent/greedy scheduling simulation."""
+
+import pytest
+
+from repro.pram.cost import Cost
+from repro.pram.schedule import (
+    TaskLog,
+    brent_time,
+    greedy_schedule,
+    simulate_loop,
+    speedup_curve,
+)
+
+
+class TestBrent:
+    def test_formula(self):
+        assert brent_time(Cost(720, 10), 72) == pytest.approx(20)
+
+    def test_monotone_in_p(self):
+        c = Cost(10000, 3)
+        ts = [brent_time(c, p) for p in (1, 2, 4, 8, 16, 72)]
+        assert ts == sorted(ts, reverse=True)
+
+
+class TestGreedySchedule:
+    def test_single_processor_is_sum(self):
+        tasks = [Cost(5, 1), Cost(3, 1), Cost(2, 1)]
+        res = greedy_schedule(tasks, 1)
+        assert res.makespan == 10
+        assert res.utilization == pytest.approx(1.0)
+
+    def test_perfect_split(self):
+        tasks = [Cost(5, 1)] * 4
+        res = greedy_schedule(tasks, 4)
+        assert res.makespan == 5
+        assert res.utilization == pytest.approx(1.0)
+
+    def test_imbalanced_tasks_bound_makespan(self):
+        tasks = [Cost(100, 1)] + [Cost(1, 1)] * 10
+        res = greedy_schedule(tasks, 4)
+        assert res.makespan == 100  # the giant task dominates
+
+    def test_lpt_beats_naive_worst_case(self):
+        # LPT places the two large tasks on different processors.
+        tasks = [Cost(6, 1), Cost(6, 1), Cost(4, 1), Cost(4, 1)]
+        res = greedy_schedule(tasks, 2)
+        assert res.makespan == 10
+
+    def test_empty_tasks(self):
+        res = greedy_schedule([], 4)
+        assert res.makespan == 0.0
+        assert res.utilization == 1.0
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            greedy_schedule([Cost(1, 1)], 0)
+
+    def test_more_processors_never_slower(self):
+        tasks = [Cost(w, 1) for w in (9, 7, 6, 5, 4, 3, 2, 2, 1)]
+        spans = [greedy_schedule(tasks, p).makespan for p in (1, 2, 3, 6, 12)]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestTaskLogAndLoop:
+    def test_total_combines_par(self):
+        log = TaskLog()
+        log.add(Cost(10, 2))
+        log.add(Cost(20, 5))
+        assert log.total == Cost(30, 5)
+
+    def test_serial_prefix_added(self):
+        log = TaskLog(serial_prefix=Cost(100, 10))
+        log.add(Cost(50, 1))
+        assert log.total == Cost(150, 11)
+
+    def test_simulate_loop(self):
+        log = TaskLog(serial_prefix=Cost(72, 1))
+        for _ in range(9):
+            log.add(Cost(8, 1))
+        t = simulate_loop(log, 72)
+        # prefix: 72/72 + 1 = 2; loop: nine 8-unit tasks on 72 procs = 8.
+        assert t == pytest.approx(10)
+
+
+class TestSpeedupCurve:
+    def test_speedup_values(self):
+        curve = speedup_curve(Cost(7200, 100), [1, 72])
+        t1, s1 = curve[1]
+        t72, s72 = curve[72]
+        assert s1 == pytest.approx(1.0)
+        assert t72 == pytest.approx(200)
+        assert s72 == pytest.approx(7300 / 200)
+
+    def test_speedup_bounded_by_work_over_depth(self):
+        c = Cost(1000, 100)
+        curve = speedup_curve(c, [10**6])
+        _, s = curve[10**6]
+        assert s <= c.work / c.depth + 1

@@ -1,0 +1,139 @@
+"""Unit tests for the scoped work/depth tracker."""
+
+import pytest
+
+from repro.pram.cost import Cost
+from repro.pram.tracker import NULL_TRACKER, Tracker
+
+
+class TestSequentialCharging:
+    def test_charges_accumulate(self):
+        t = Tracker()
+        t.charge(Cost(5, 2))
+        t.charge(Cost(3, 1))
+        assert t.total == Cost(8, 3)
+
+    def test_charge_ops_default_depth(self):
+        t = Tracker()
+        t.charge_ops(7)
+        assert t.total == Cost(7, 7)
+
+    def test_charge_ops_explicit_depth(self):
+        t = Tracker()
+        t.charge_ops(7, 2)
+        assert t.total == Cost(7, 2)
+
+    def test_work_depth_properties(self):
+        t = Tracker()
+        t.charge(Cost(4, 3))
+        assert t.work == 4 and t.depth == 3
+
+    def test_time_on(self):
+        t = Tracker()
+        t.charge(Cost(100, 5))
+        assert t.time_on(10) == pytest.approx(15)
+
+
+class TestParallelRegions:
+    def test_tasks_combine_with_par(self):
+        t = Tracker()
+        with t.parallel() as region:
+            with region.task():
+                t.charge(Cost(10, 4))
+            with region.task():
+                t.charge(Cost(20, 7))
+        assert t.total == Cost(30, 7)
+
+    def test_add_task_cost_directly(self):
+        t = Tracker()
+        with t.parallel() as region:
+            region.add_task_cost(Cost(10, 4))
+            region.add_task_cost(Cost(20, 7))
+        assert t.total == Cost(30, 7)
+
+    def test_nested_regions(self):
+        t = Tracker()
+        with t.parallel() as outer:
+            with outer.task():
+                with t.parallel() as inner:
+                    inner.add_task_cost(Cost(5, 5))
+                    inner.add_task_cost(Cost(5, 3))
+            with outer.task():
+                t.charge(Cost(1, 1))
+        # inner region: (10, 5); outer = (10,5) | (1,1) = (11, 5)
+        assert t.total == Cost(11, 5)
+
+    def test_sequential_around_region(self):
+        t = Tracker()
+        t.charge(Cost(2, 2))
+        with t.parallel() as region:
+            region.add_task_cost(Cost(10, 3))
+        t.charge(Cost(1, 1))
+        assert t.total == Cost(13, 6)
+
+    def test_closed_region_rejects_tasks(self):
+        t = Tracker()
+        with t.parallel() as region:
+            pass
+        with pytest.raises(RuntimeError):
+            region.add_task_cost(Cost(1, 1))
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        t = Tracker()
+        with t.phase("a"):
+            t.charge(Cost(5, 5))
+        with t.phase("b"):
+            t.charge(Cost(3, 3))
+        assert t.phases["a"] == Cost(5, 5)
+        assert t.phases["b"] == Cost(3, 3)
+
+    def test_unphased_charges_not_attributed(self):
+        t = Tracker()
+        t.charge(Cost(9, 9))
+        assert t.phases == {}
+        assert t.total == Cost(9, 9)
+
+    def test_nested_phase_goes_to_innermost(self):
+        t = Tracker()
+        with t.phase("outer"):
+            t.charge(Cost(1, 1))
+            with t.phase("inner"):
+                t.charge(Cost(2, 2))
+        assert t.phases["outer"] == Cost(1, 1)
+        assert t.phases["inner"] == Cost(2, 2)
+
+
+class TestDisabledTracker:
+    def test_null_tracker_ignores_charges(self):
+        NULL_TRACKER.charge(Cost(100, 100))
+        assert NULL_TRACKER.total == Cost(0, 0)
+
+    def test_disabled_tracker_parallel_is_noop(self):
+        t = Tracker(enabled=False)
+        with t.parallel() as region:
+            region.add_task_cost(Cost(5, 5))
+        assert t.total == Cost(0, 0)
+
+    def test_disabled_phase_is_noop(self):
+        t = Tracker(enabled=False)
+        with t.phase("x"):
+            t.charge(Cost(1, 1))
+        assert t.phases == {}
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        t = Tracker()
+        with t.phase("p"):
+            t.charge(Cost(5, 5))
+        t.reset()
+        assert t.total == Cost(0, 0)
+        assert t.phases == {}
+
+    def test_reset_with_open_scope_rejected(self):
+        t = Tracker()
+        t._push_scope()
+        with pytest.raises(RuntimeError):
+            t.reset()

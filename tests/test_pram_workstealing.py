@@ -1,0 +1,83 @@
+"""Unit tests for the work-stealing scheduler simulation."""
+
+import pytest
+
+from repro.pram import simulate_work_stealing
+from repro.pram.cost import Cost
+
+
+def uniform(n, w=10.0):
+    return [Cost(w, 1.0)] * n
+
+
+class TestBasics:
+    def test_single_processor_is_serial(self):
+        r = simulate_work_stealing(uniform(12), 1, seed=0)
+        assert r.makespan == 120
+        assert r.steal_attempts == 0
+        assert r.utilization == pytest.approx(1.0)
+
+    def test_balanced_load_needs_no_steals(self):
+        r = simulate_work_stealing(uniform(40), 8, seed=0)
+        assert r.makespan == 50
+        assert r.successful_steals == 0
+
+    def test_empty_tasks(self):
+        r = simulate_work_stealing([], 4, seed=0)
+        assert r.makespan == 0.0
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            simulate_work_stealing(uniform(4), 0)
+
+    def test_negative_steal_cost(self):
+        with pytest.raises(ValueError):
+            simulate_work_stealing(uniform(4), 2, steal_cost=-1)
+
+
+class TestStealing:
+    def test_imbalance_triggers_steals(self):
+        tasks = uniform(20) + [Cost(100, 1)]
+        r = simulate_work_stealing(tasks, 4, seed=0)
+        assert r.successful_steals > 0
+        # The giant task lower-bounds the makespan.
+        assert r.makespan >= 100
+
+    def test_makespan_never_below_brent_floor(self):
+        tasks = [Cost(w, 1.0) for w in (50, 30, 20, 10, 10, 10)]
+        for p in (1, 2, 4, 8):
+            r = simulate_work_stealing(tasks, p, seed=1)
+            assert r.makespan >= r.busy_time / p - 1e-9
+            assert r.makespan >= 50  # the largest task
+
+    def test_steal_cost_hurts(self):
+        tasks = uniform(20) + [Cost(100, 1)]
+        cheap = simulate_work_stealing(tasks, 4, steal_cost=0.0, seed=2)
+        pricey = simulate_work_stealing(tasks, 4, steal_cost=20.0, seed=2)
+        assert cheap.makespan <= pricey.makespan
+
+    def test_more_processors_never_worse(self):
+        tasks = [Cost(w, 1.0) for w in range(1, 30)]
+        spans = [
+            simulate_work_stealing(tasks, p, seed=3).makespan for p in (1, 2, 4)
+        ]
+        assert spans[0] >= spans[1] >= spans[2]
+
+    def test_utilization_bounded(self):
+        tasks = uniform(7) + [Cost(70, 1)]
+        r = simulate_work_stealing(tasks, 8, seed=4)
+        assert 0.0 < r.utilization <= 1.0
+
+
+class TestAgainstGreedy:
+    def test_never_beats_busy_bound_and_tracks_greedy(self):
+        from repro.pram.schedule import greedy_schedule
+
+        tasks = [Cost(w, 1.0) for w in (40, 35, 20, 20, 10, 5, 5, 5)]
+        for p in (2, 4):
+            ws = simulate_work_stealing(tasks, p, seed=5)
+            greedy = greedy_schedule(tasks, p)
+            # Work stealing pays steal overhead: >= the greedy makespan
+            # minus nothing, and within a constant factor of it.
+            assert ws.makespan >= greedy.makespan - 1e-9
+            assert ws.makespan <= 3 * greedy.makespan + 50

@@ -1,0 +1,101 @@
+"""Property-based tests: all engines agree with the oracle on random graphs."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    arbcount_count,
+    brute_force_count,
+    chiba_nishizeki_count,
+    kclist_count,
+)
+from repro.core import VARIANTS, run_variant
+from repro.graphs import from_edges
+from repro.pram.tracker import Tracker
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_graphs(draw, max_n=16):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=0, max_size=len(possible))
+    )
+    edges = np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, num_vertices=n)
+
+
+@given(g=random_graphs(), k=st.integers(min_value=4, max_value=6))
+@settings(**SETTINGS)
+def test_all_variants_match_brute_force(g, k):
+    expected = brute_force_count(g, k)
+    for variant in VARIANTS:
+        assert run_variant(g, k, variant, Tracker()).count == expected, variant
+
+
+@given(g=random_graphs(), k=st.integers(min_value=1, max_value=6))
+@settings(**SETTINGS)
+def test_baselines_match_brute_force(g, k):
+    expected = brute_force_count(g, k)
+    assert kclist_count(g, k).count == expected
+    assert arbcount_count(g, k).count == expected
+    assert chiba_nishizeki_count(g, k).count == expected
+
+
+@given(g=random_graphs(max_n=12), k=st.integers(min_value=4, max_value=5))
+@settings(**SETTINGS)
+def test_listing_is_exact_and_unique(g, k):
+    from repro.baselines import brute_force_list
+    from repro import list_cliques
+
+    expected = sorted(brute_force_list(g, k))
+    for variant in ("best-work", "cd-best-work"):
+        got = sorted(list_cliques(g, k, variant=variant))
+        assert got == expected, variant
+
+
+@given(g=random_graphs(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(**SETTINGS)
+def test_count_invariant_under_vertex_order(g, seed):
+    from repro.core.clique_listing import count_cliques_on_dag
+    from repro.graphs import orient_by_order
+
+    n = g.num_vertices
+    base = count_cliques_on_dag(
+        orient_by_order(g, np.arange(n)), 4, Tracker()
+    ).count
+    order = np.random.default_rng(seed).permutation(n)
+    permuted = count_cliques_on_dag(
+        orient_by_order(g, order), 4, Tracker()
+    ).count
+    assert base == permuted
+
+
+@given(g=random_graphs(), k=st.integers(min_value=4, max_value=6))
+@settings(**SETTINGS)
+def test_pruning_never_changes_count(g, k):
+    a = run_variant(g, k, "best-work", Tracker(), prune=True)
+    b = run_variant(g, k, "best-work", Tracker(), prune=False)
+    assert a.count == b.count
+    assert a.stats.probes <= b.stats.probes
+
+
+@given(g=random_graphs())
+@settings(**SETTINGS)
+def test_monotone_in_k(g):
+    # Once the count hits zero it stays zero (no k-clique implies no
+    # (k+1)-clique).
+    counts = [run_variant(g, k, "best-work", Tracker()).count for k in range(2, 8)]
+    seen_zero = False
+    for c in counts:
+        if seen_zero:
+            assert c == 0
+        if c == 0:
+            seen_zero = True

@@ -1,0 +1,125 @@
+"""Property-based tests for the extension modules (existence, motifs,
+kernels, densest subgraph, arboricity)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_count
+from repro.core import (
+    clique_spectrum,
+    count_cliques_triangle_growing,
+    find_clique,
+    kclique_densest_subgraph,
+    max_clique_size,
+    per_vertex_clique_counts,
+)
+from repro.graphs import from_edges, kcore_kernel, triangle_kernel
+from repro.orders import arboricity_estimate, degeneracy_order, forest_decomposition
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def graphs(draw, max_n=14):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(possible), max_size=len(possible)))
+    return from_edges(
+        np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2),
+        num_vertices=n,
+    )
+
+
+@given(g=graphs(), k=st.integers(min_value=4, max_value=7))
+@settings(**SETTINGS)
+def test_triangle_growing_matches_oracle(g, k):
+    assert count_cliques_triangle_growing(g, k).count == brute_force_count(g, k)
+
+
+@given(g=graphs(), k=st.integers(min_value=1, max_value=7))
+@settings(**SETTINGS)
+def test_find_clique_consistent_with_count(g, k):
+    witness = find_clique(g, k)
+    has = brute_force_count(g, k) > 0
+    assert (witness is not None) == has
+    if witness is not None:
+        assert len(set(witness)) == k
+        for i, a in enumerate(witness):
+            for b in witness[i + 1 :]:
+                assert g.has_edge(a, b)
+
+
+@given(g=graphs())
+@settings(**SETTINGS)
+def test_spectrum_internally_consistent(g):
+    spectrum = clique_spectrum(g)
+    assert spectrum.get(1, 0) == g.num_vertices
+    if g.num_edges:
+        assert spectrum[2] == g.num_edges
+    omega = max_clique_size(g)
+    assert all(c == 0 for k, c in spectrum.items() if k > omega)
+    if omega >= 1:
+        assert spectrum.get(omega, 0) >= 1
+
+
+@given(g=graphs(), k=st.integers(min_value=3, max_value=7))
+@settings(**SETTINGS)
+def test_kernels_preserve_counts(g, k):
+    expected = brute_force_count(g, k)
+    kc = kcore_kernel(g, k)
+    tk = triangle_kernel(g, k)
+    assert brute_force_count(kc.graph, k) == expected
+    assert brute_force_count(tk.graph, k) == expected
+    # The triangle kernel is never larger than the core kernel.
+    assert tk.graph.num_vertices <= kc.graph.num_vertices
+    assert tk.graph.num_edges <= kc.graph.num_edges
+
+
+@given(g=graphs(), k=st.integers(min_value=1, max_value=6))
+@settings(**SETTINGS)
+def test_per_vertex_counts_sum(g, k):
+    counts = per_vertex_clique_counts(g, k)
+    assert int(counts.sum()) == k * brute_force_count(g, k)
+    assert np.all(counts >= 0)
+
+
+@given(g=graphs(max_n=12))
+@settings(**SETTINGS)
+def test_densest_subgraph_approximation(g):
+    # The greedy result's density is at least (best single clique)/k of
+    # the trivially-known optimum lower bound: any maximum clique S has
+    # rho_3(S) = C(|S|,3)/|S|; greedy is a 1/k-approximation of OPT, so
+    # its density must be >= rho_3(max clique) / 3.
+    import math
+
+    res = kclique_densest_subgraph(g, 3)
+    omega = max_clique_size(g)
+    if omega >= 3:
+        clique_density = math.comb(omega, 3) / omega
+        assert res.density >= clique_density / 3 - 1e-9
+    else:
+        assert res.density == 0.0
+
+
+@given(g=graphs())
+@settings(**SETTINGS)
+def test_forest_decomposition_certificate(g):
+    fd = forest_decomposition(g)
+    # partition property
+    covered = (
+        np.concatenate(fd.forests) if fd.forests else np.empty(0, dtype=np.int64)
+    )
+    assert sorted(covered.tolist()) == list(range(g.num_edges))
+    # every forest has at most n-1 edges
+    for idx in fd.forests:
+        assert idx.size <= max(g.num_vertices - 1, 0)
+    lo, hi = arboricity_estimate(g)
+    assert lo <= hi
+    # alpha <= s always; the upper bound may exceed s but not 2s+1.
+    s = degeneracy_order(g).degeneracy
+    assert lo <= max(s, 0) + 1

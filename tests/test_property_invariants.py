@@ -1,0 +1,136 @@
+"""Property-based tests on the substrates' structural invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import CSRGraph, from_edges, orient_by_order
+from repro.orders import (
+    approx_degeneracy_order,
+    community_degeneracy_order,
+    degeneracy_order,
+)
+from repro.pram.cost import Cost
+from repro.triangles import build_communities
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def edge_lists(draw, max_n=20):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=min(60, n * (n - 1) // 2)))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return n, pairs
+
+
+@given(data=edge_lists())
+@settings(**SETTINGS)
+def test_builder_always_produces_valid_csr(data):
+    n, pairs = data
+    g = from_edges(np.asarray(pairs, dtype=np.int64).reshape(-1, 2), num_vertices=n)
+    CSRGraph(g.indptr, g.indices, validate=True)  # strict re-validation
+    assert int(g.degrees.sum()) == 2 * g.num_edges
+
+
+@given(data=edge_lists(), seed=st.integers(min_value=0, max_value=999))
+@settings(**SETTINGS)
+def test_orientation_is_acyclic_partition(data, seed):
+    n, pairs = data
+    g = from_edges(np.asarray(pairs, dtype=np.int64).reshape(-1, 2), num_vertices=n)
+    order = np.random.default_rng(seed).permutation(n)
+    dag = orient_by_order(g, order)
+    # each undirected edge appears exactly once, directed upward
+    assert dag.num_edges == g.num_edges
+    for v in range(n):
+        out = dag.out_neighbors(v)
+        assert np.all(out > v)
+        assert np.all(np.diff(out) > 0)
+
+
+@given(data=edge_lists())
+@settings(**SETTINGS)
+def test_degeneracy_order_certificate(data):
+    n, pairs = data
+    g = from_edges(np.asarray(pairs, dtype=np.int64).reshape(-1, 2), num_vertices=n)
+    res = degeneracy_order(g)
+    dag = orient_by_order(g, res.order)
+    # The defining property: orienting by the order gives out-degree <= s.
+    assert dag.max_out_degree <= res.degeneracy
+    # And s is tight: some suffix vertex attains it.
+    if g.num_edges:
+        assert res.degeneracy >= 1
+
+
+@given(data=edge_lists(), eps=st.floats(min_value=0.05, max_value=2.0))
+@settings(**SETTINGS)
+def test_approx_degeneracy_guarantee(data, eps):
+    n, pairs = data
+    g = from_edges(np.asarray(pairs, dtype=np.int64).reshape(-1, 2), num_vertices=n)
+    s = degeneracy_order(g).degeneracy
+    res = approx_degeneracy_order(g, eps=eps)
+    dag = orient_by_order(g, res.order)
+    assert dag.max_out_degree <= 2 * (1 + eps) * max(s, 0) + 1e-9
+
+
+@given(data=edge_lists())
+@settings(**SETTINGS)
+def test_sigma_strictly_less_than_s_when_edges_exist(data):
+    n, pairs = data
+    g = from_edges(np.asarray(pairs, dtype=np.int64).reshape(-1, 2), num_vertices=n)
+    if g.num_edges == 0:
+        return
+    sigma = community_degeneracy_order(g).sigma
+    s = degeneracy_order(g).degeneracy
+    assert sigma < s  # paper §1.1: strict inequality
+
+
+@given(data=edge_lists())
+@settings(**SETTINGS)
+def test_communities_partition_triangles(data):
+    n, pairs = data
+    g = from_edges(np.asarray(pairs, dtype=np.int64).reshape(-1, 2), num_vertices=n)
+    dag = orient_by_order(g, np.arange(n))
+    comms = build_communities(dag)
+    # gamma <= max out-degree - 1 whenever communities are non-empty
+    if comms.num_triangles:
+        assert comms.max_size <= dag.max_out_degree - 1
+    # every member lies strictly between its edge's endpoints
+    us, vs = dag.edge_endpoints()
+    for eid in range(dag.num_edges):
+        c = comms.of(eid)
+        if c.size:
+            assert c.min() > us[eid] and c.max() < vs[eid]
+
+
+@given(
+    w1=st.floats(min_value=0, max_value=1e6),
+    d1=st.floats(min_value=0, max_value=1e6),
+    w2=st.floats(min_value=0, max_value=1e6),
+    d2=st.floats(min_value=0, max_value=1e6),
+    p=st.integers(min_value=1, max_value=4096),
+)
+@settings(max_examples=60, deadline=None)
+def test_cost_algebra_laws(w1, d1, w2, d2, p):
+    a, b = Cost(w1, min(d1, w1)), Cost(w2, min(d2, w2))
+    # commutativity of |, monotonicity of Brent time, distributive bound
+    assert (a | b) == (b | a)
+    assert (a + b).time_on(p) >= (a | b).time_on(p)
+    assert (a + b).work == (a | b).work
+    # Brent never beats perfect speedup or the critical path
+    t = a.time_on(p)
+    assert t >= a.work / p
+    assert t >= a.depth

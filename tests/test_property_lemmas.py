@@ -1,0 +1,76 @@
+"""Property-based tests of the paper's combinatorial lemmas (§3, §4.3)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    check_lemma_2_2,
+    check_lemma_3_1,
+    check_lemma_4_4,
+    check_observation3,
+    check_observation4,
+    check_observation5,
+)
+from repro.graphs import from_edges, orient_by_order
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def graphs(draw, max_n=14):
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(possible), max_size=len(possible)))
+    return from_edges(
+        np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2),
+        num_vertices=n,
+    )
+
+
+@given(size=st.integers(0, 60), c=st.integers(0, 20))
+@settings(max_examples=80, deadline=None)
+def test_observation3_exact(size, c):
+    counted, formula = check_observation3(size, c)
+    assert counted == formula
+
+
+@given(size=st.integers(0, 24), c=st.integers(0, 12))
+@settings(max_examples=60, deadline=None)
+def test_observation4_exact(size, c):
+    enumerated, formula = check_observation4(size, c)
+    assert enumerated == formula
+
+
+@given(g=graphs(), c=st.integers(min_value=2, max_value=4))
+@settings(**SETTINGS)
+def test_lemma_2_2_holds(g, c):
+    dag = orient_by_order(g, np.arange(g.num_vertices))
+    lhs, rhs = check_lemma_2_2(dag, c)
+    assert lhs <= rhs + 1e-9
+
+
+@given(g=graphs(), c=st.integers(min_value=2, max_value=4))
+@settings(**SETTINGS)
+def test_lemma_3_1_holds(g, c):
+    dag = orient_by_order(g, np.arange(g.num_vertices))
+    lhs, rhs = check_lemma_3_1(dag, c)
+    assert lhs <= rhs + 1e-9
+
+
+@given(g=graphs())
+@settings(**SETTINGS)
+def test_observation5_holds(g):
+    t, bound = check_observation5(g)
+    assert t <= bound
+
+
+@given(g=graphs(), eps=st.floats(min_value=0.1, max_value=1.5))
+@settings(**SETTINGS)
+def test_lemma_4_4_holds(g, eps):
+    max_cand, bound = check_lemma_4_4(g, eps=eps)
+    assert max_cand <= bound + 1e-9

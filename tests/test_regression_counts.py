@@ -1,0 +1,54 @@
+"""Golden-count regression tests for the benchmark datasets.
+
+``tests/data/expected_counts.json`` pins the exact k-clique counts of
+every Table-2 stand-in for k = 3..10 (generated once with the validated
+engines). Any change to the generators, the dataset parameters, or any
+counting engine that silently alters results fails here first.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import count_cliques
+from repro.bench import dataset_names, load_dataset
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data", "expected_counts.json")
+
+
+@pytest.fixture(scope="module")
+def expected():
+    with open(FIXTURE) as fh:
+        return json.load(fh)
+
+
+def test_fixture_covers_all_datasets(expected):
+    assert sorted(expected) == sorted(dataset_names())
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_dataset_shape_pinned(name, expected):
+    g = load_dataset(name)
+    assert g.num_vertices == expected[name]["num_vertices"]
+    assert g.num_edges == expected[name]["num_edges"]
+
+
+@pytest.mark.parametrize("name", dataset_names())
+@pytest.mark.parametrize("k", [3, 6, 8, 10])
+def test_counts_pinned(name, k, expected):
+    g = load_dataset(name)
+    assert count_cliques(g, k).count == expected[name]["counts"][str(k)]
+
+
+@pytest.mark.parametrize("name", ["chebyshev4", "bio-sc-ht"])
+def test_pinned_counts_hold_for_other_engines(name, expected):
+    """A second engine must reproduce the pinned counts too."""
+    from repro.baselines import kclist_count
+    from repro.core import count_cliques_triangle_growing
+
+    g = load_dataset(name)
+    for k in (6, 10):
+        want = expected[name]["counts"][str(k)]
+        assert kclist_count(g, k).count == want
+        assert count_cliques_triangle_growing(g, k).count == want

@@ -1,0 +1,48 @@
+"""Unit tests for the cross-engine self-check fuzzer."""
+
+import pytest
+
+from repro.validation import self_check
+
+
+class TestSelfCheck:
+    def test_small_run_passes(self):
+        report = self_check(trials=3, max_vertices=18, k_values=[4, 5], seed=1)
+        assert report.ok
+        assert report.trials == 3
+        assert len(report.engines) >= 10
+
+    def test_summary_format(self):
+        report = self_check(trials=2, max_vertices=14, k_values=[4], seed=2)
+        assert "self-check OK" in report.summary()
+
+    def test_failure_is_reported(self):
+        # Inject a broken engine and verify the mismatch is caught.
+        import repro.validation as v
+
+        original = v._engines
+
+        def broken():
+            table = original()
+            table["broken"] = lambda g, k: -1
+            return table
+
+        v._engines = broken
+        try:
+            report = self_check(trials=1, max_vertices=12, k_values=[4], seed=3)
+        finally:
+            v._engines = original
+        assert not report.ok
+        assert "MISMATCH" in report.summary()
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            self_check(trials=0)
+
+
+class TestSelfCheckCli:
+    def test_cli_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["selfcheck", "--trials", "2", "--seed", "4"]) == 0
+        assert "self-check OK" in capsys.readouterr().out
