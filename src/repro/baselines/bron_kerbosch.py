@@ -28,9 +28,10 @@ def _bk_pivot(
     if not p and not x:
         out.append(tuple(sorted(r)))
         return
-    # Tomita pivot: the vertex of P ∪ X with most neighbors in P.
-    pivot = max(p | x, key=lambda u: len(adj[u] & p))
-    for v in list(p - adj[pivot]):
+    # Tomita pivot: the vertex of P ∪ X with most neighbors in P. Ties
+    # break by smallest id (R3: ties on a raw set break by hash order).
+    pivot = max(sorted(p | x), key=lambda u: len(adj[u] & p))
+    for v in sorted(p - adj[pivot]):
         _bk_pivot(adj, r + [v], p & adj[v], x & adj[v], out)
         p.remove(v)
         x.add(v)

@@ -77,8 +77,8 @@ def _k_procedure(
             count += _k_procedure(adj, nbrs, k - 1, stats, emit, prefix + [v])
             for u in nbrs:
                 adj[u] = saved[u]
-        # Delete v from the graph.
-        for u in adj[v]:
+        # Delete v from the graph (discard order is irrelevant).
+        for u in adj[v]:  # lint: ignore[R3]
             adj[u].discard(v)
         deleted.append((v, list(adj[v])))
         adj[v] = set()

@@ -8,7 +8,8 @@
 * ``spectrum <graph>`` — clique counts for every size;
 * ``datasets`` — show the built-in Table-2 stand-ins;
 * ``bench <dataset> -k K`` — one figure cell (3 algorithms) on a stand-in;
-* ``selfcheck`` — fuzz every engine against each other + the oracle.
+* ``selfcheck`` — fuzz every engine against each other + the oracle;
+* ``lint [paths]`` — the repo-aware static analysis (rules R1–R4).
 
 Graph files may be edge lists (``.txt``/``.edges``, SNAP format), Matrix
 Market (``.mtx``) or this library's ``.npz``. A built-in dataset name
@@ -18,6 +19,7 @@ Market (``.mtx``) or this library's ``.npz``. A built-in dataset name
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -127,6 +129,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        format_json,
+        format_text,
+        load_baseline,
+        partition,
+        run_lint,
+        save_baseline,
+    )
+
+    paths = args.paths or ["src"]
+    findings = run_lint(paths)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists("lint-baseline.json"):
+        baseline_path = "lint-baseline.json"
+
+    if args.write_baseline:
+        target = baseline_path or "lint-baseline.json"
+        save_baseline(target, findings)
+        print(f"baseline written: {target} ({len(findings)} finding(s))")
+        return 0
+
+    grandfathered: List = []
+    if baseline_path is not None:
+        findings, grandfathered = partition(findings, load_baseline(baseline_path))
+
+    fmt = format_json if args.format == "json" else format_text
+    print(fmt(findings, grandfathered))
+    return 1 if findings else 0
+
+
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from .validation import self_check
 
@@ -184,6 +219,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_selfcheck)
+
+    p = sub.add_parser("lint", help="repo-aware static analysis (rules R1-R4)")
+    p.add_argument("paths", nargs="*", help="files/directories (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON (default: ./lint-baseline.json if present)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the accepted baseline and exit 0",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

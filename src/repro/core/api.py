@@ -67,11 +67,16 @@ def list_cliques(
     eps: float = 0.5,
     tracker: Optional[Tracker] = None,
 ) -> List[Tuple[int, ...]]:
-    """List all k-cliques as sorted vertex tuples (each exactly once)."""
+    """List all k-cliques as sorted vertex tuples (each exactly once).
+
+    The returned list is in lexicographic order regardless of variant or
+    schedule, so two runs (or two engines) produce byte-identical output —
+    the property lint rule R3 guards inside the engines.
+    """
     tracker = tracker if tracker is not None else Tracker()
     result = run_variant(graph, k, variant, tracker, eps=eps, collect=True)
     assert result.cliques is not None
-    return result.cliques
+    return sorted(result.cliques)
 
 
 def has_clique(

@@ -69,27 +69,15 @@ def _search_one(
                 _search_one(dag, comms, sub, c - 2, prefix + [u, v])
 
 
-def find_clique(
-    graph: CSRGraph, k: int, tracker: Tracker = NULL_TRACKER
+def _witness_on_dag(
+    dag: OrientedDAG, comms: EdgeCommunities, k: int
 ) -> Optional[Tuple[int, ...]]:
-    """Return one k-clique (sorted original vertex ids) or ``None``.
+    """One k-clique (k >= 3) on a prebuilt orientation, or ``None``.
 
-    Uses the exact degeneracy orientation and exits at the first witness.
+    Factored out of :func:`find_clique` so callers that probe several k
+    (e.g. :func:`max_clique_size`) pay for the orientation and the edge
+    communities once instead of once per query (R4).
     """
-    if k < 1:
-        raise ValueError(f"clique size must be >= 1, got {k}")
-    n = graph.num_vertices
-    if k == 1:
-        return (0,) if n else None
-    if k == 2:
-        us, vs = graph.edge_array()
-        return (int(us[0]), int(vs[0])) if us.size else None
-
-    res = degeneracy_order(graph, tracker=tracker)
-    if k > res.degeneracy + 1:
-        return None  # an s-degenerate graph has no (s+2)-clique (§1.1)
-    dag = orient_by_order(graph, res.order, tracker=tracker)
-    comms = build_communities(dag, tracker=tracker)
     orig = dag.original_ids
 
     if k == 3:
@@ -118,20 +106,47 @@ def find_clique(
     return None
 
 
+def find_clique(
+    graph: CSRGraph, k: int, tracker: Tracker = NULL_TRACKER
+) -> Optional[Tuple[int, ...]]:
+    """Return one k-clique (sorted original vertex ids) or ``None``.
+
+    Uses the exact degeneracy orientation and exits at the first witness.
+    """
+    if k < 1:
+        raise ValueError(f"clique size must be >= 1, got {k}")
+    n = graph.num_vertices
+    if k == 1:
+        return (0,) if n else None
+    if k == 2:
+        us, vs = graph.edge_array()
+        return (int(us[0]), int(vs[0])) if us.size else None
+
+    res = degeneracy_order(graph, tracker=tracker)
+    if k > res.degeneracy + 1:
+        return None  # an s-degenerate graph has no (s+2)-clique (§1.1)
+    dag = orient_by_order(graph, res.order, tracker=tracker)
+    comms = build_communities(dag, tracker=tracker)
+    return _witness_on_dag(dag, comms, k)
+
+
 def max_clique_size(graph: CSRGraph, tracker: Tracker = NULL_TRACKER) -> int:
     """The clique number ω, via early-exit searches from s+1 downward.
 
     An s-degenerate graph has ω ≤ s + 1, so at most s − 1 existence
-    queries are needed; each query reuses the same pruned search.
+    queries are needed; the orientation and edge communities are built
+    once and shared by every query (they depend only on the graph).
     """
     n = graph.num_vertices
     if n == 0:
         return 0
     if graph.num_edges == 0:
         return 1
-    s = degeneracy_order(graph, tracker=tracker).degeneracy
-    for k in range(s + 1, 2, -1):
-        if find_clique(graph, k, tracker=tracker) is not None:
+    res = degeneracy_order(graph, tracker=tracker)
+    dag = orient_by_order(graph, res.order, tracker=tracker)
+    comms = build_communities(dag, tracker=tracker)
+    for k in range(res.degeneracy + 1, 2, -1):
+        if _witness_on_dag(dag, comms, k) is not None:
             return k
     return 2  # there is at least one edge
 

@@ -3,9 +3,11 @@
 Algorithm 1's outer loop is embarrassingly parallel over the eligible
 edges. Under CPython, threads cannot exploit that (GIL), but forked
 processes can: this wrapper builds the shared read-only state (oriented
-DAG + communities) once, forks workers that inherit it copy-on-write, and
-fans the eligible-edge range out with
-:func:`repro.pram.executor.parallel_map_reduce`.
+DAG + communities) once and fans the eligible-edge range out with
+:func:`repro.pram.executor.parallel_map_reduce`, delivering the state to
+workers through the executor's ``state=`` channel (never a module global
+— a global is clobbered by re-entrant calls and is invisible under a
+spawn start method; lint rule R2 enforces this).
 
 On a single-core machine (``n_workers=1``) this degrades to the exact
 sequential loop, so results and costs remain comparable.
@@ -20,21 +22,19 @@ import numpy as np
 from ..graphs.csr import CSRGraph
 from ..graphs.digraph import OrientedDAG, orient_by_order
 from ..orders.degeneracy import degeneracy_order
-from ..pram.executor import parallel_map_reduce
+from ..pram.executor import parallel_map_reduce, worker_state
+from ..pram.tracker import Tracker
 from ..triangles.communities import EdgeCommunities, build_communities
 from .recursive import SearchStats, recursive_count
 
 __all__ = ["count_cliques_parallel"]
 
-# Fork-shared worker state (set in the parent right before the fan-out;
-# child processes inherit it copy-on-write through fork()).
-_SHARED: dict = {}
-
 
 def _worker(chunk: np.ndarray, k: int) -> int:
-    dag: OrientedDAG = _SHARED["dag"]
-    comms: EdgeCommunities = _SHARED["comms"]
-    eligible: np.ndarray = _SHARED["eligible"]
+    dag: OrientedDAG
+    comms: EdgeCommunities
+    eligible: np.ndarray
+    dag, comms, eligible = worker_state()
     total = 0
     for idx in chunk.tolist():
         eid = int(eligible[idx])
@@ -50,11 +50,14 @@ def count_cliques_parallel(
     graph: CSRGraph,
     k: int,
     n_workers: Optional[int] = None,
+    tracker: Optional[Tracker] = None,
 ) -> int:
     """Count k-cliques with the outer edge loop on real processes.
 
     Returns just the count (cost tracking across process boundaries would
     require IPC aggregation; use the sequential API for instrumentation).
+    A ``tracker`` built with ``sanitize=True`` runs the fan-out through
+    the CREW-checked sequential path, proving the dispatch race-free.
     """
     if k < 1:
         raise ValueError(f"clique size must be >= 1, got {k}")
@@ -71,16 +74,14 @@ def count_cliques_parallel(
         return comms.num_triangles
 
     eligible = np.flatnonzero(comms.sizes >= (k - 2))
-    if eligible.size == 0:
-        return 0
-
-    _SHARED["dag"] = dag
-    _SHARED["comms"] = comms
-    _SHARED["eligible"] = eligible
-    try:
-        total = parallel_map_reduce(
-            _worker, int(eligible.size), args=(k,), n_workers=n_workers
-        )
-    finally:
-        _SHARED.clear()
-    return int(total or 0)
+    total = parallel_map_reduce(
+        _worker,
+        int(eligible.size),
+        args=(k,),
+        n_workers=n_workers,
+        state=(dag, comms, eligible),
+        initial=0,
+        tracker=tracker,
+    )
+    assert total is not None  # initial=0 makes the empty reduction explicit
+    return int(total)

@@ -117,7 +117,6 @@ def run_variant(
 def _count_in_subgraph(
     sub: CSRGraph,
     k: int,
-    tracker: Tracker,
     collect: bool,
     labels: np.ndarray,
     cliques: Optional[List[Tuple[int, ...]]],
@@ -127,7 +126,11 @@ def _count_in_subgraph(
     """Count k-cliques of an induced subgraph with the exact-order engine.
 
     ``labels`` maps subgraph ids back to parent ids; ``extra`` vertices are
-    prepended to every listed clique. Returns (count, task cost, stats).
+    prepended to every listed clique. Returns (count, task cost, stats);
+    the cost is accumulated on a private sub-tracker and returned so the
+    caller can charge it as one task of its parallel region (R1: a
+    ``tracker`` parameter here would claim instrumentation this function
+    does not provide).
     """
     sub_tracker = Tracker()
     if k == 1:
@@ -203,7 +206,6 @@ def _run_hybrid(
                 cnt, sub_cost, sub_stats = _count_in_subgraph(
                     sub,
                     k - 1,
-                    tracker,
                     collect,
                     labels,
                     cliques,

@@ -1,0 +1,66 @@
+"""Repo-aware static analysis for the reproduction's own invariants.
+
+Four rule families, each enforcing a property the test suite cannot see:
+
+* **R1** instrumentation completeness — tracker-accepting functions must
+  charge every loop (:mod:`~repro.lint.rules_instrumentation`);
+* **R2** parallel-region purity — no shared-scope writes inside
+  ``region.task()`` blocks or forked executor workers
+  (:mod:`~repro.lint.rules_purity`);
+* **R3** determinism — no hash-ordered iteration feeding output, no
+  ``eval``, no process-global RNG (:mod:`~repro.lint.rules_determinism`);
+* **R4** complexity smells — list membership probes and repeated
+  expensive preprocessing inside loops
+  (:mod:`~repro.lint.rules_complexity`).
+
+Run via ``python -m repro lint [paths]``; suppress single findings with a
+trailing ``# lint: ignore[R1]`` comment; grandfather legacy findings in a
+committed JSON baseline (see :mod:`~repro.lint.baseline`). The runtime
+counterpart — the CREW write-set sanitizer — lives in
+:mod:`repro.pram.sanitize`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .baseline import load_baseline, partition, save_baseline
+from .core import Finding, Module, Rule, collect_python_files, parse_module, run_rules
+from .reporting import format_json, format_text
+from .rules_complexity import ComplexityRule
+from .rules_determinism import DeterminismRule
+from .rules_instrumentation import InstrumentationRule
+from .rules_purity import PurityRule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Module",
+    "Rule",
+    "run_lint",
+    "collect_python_files",
+    "parse_module",
+    "load_baseline",
+    "save_baseline",
+    "partition",
+    "format_text",
+    "format_json",
+]
+
+ALL_RULES: Sequence[Rule] = (
+    InstrumentationRule(),
+    PurityRule(),
+    DeterminismRule(),
+    ComplexityRule(),
+)
+
+
+def run_lint(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[str] = None,
+) -> List[Finding]:
+    """Lint files/directories and return all unsuppressed findings."""
+    selected = ALL_RULES if rules is None else rules
+    modules = [parse_module(p, root=root) for p in collect_python_files(paths)]
+    return run_rules(modules, selected)

@@ -1,0 +1,68 @@
+"""Grandfathering: accepted findings live in a committed JSON baseline.
+
+The baseline stores fingerprint → count (a fingerprint hashes rule, path,
+enclosing symbol, and message — not the line number — so unrelated edits
+that shift code do not invalidate it). A run partitions current findings
+into *new* (beyond the baselined count for that fingerprint) and
+*grandfathered*; only new findings fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from .core import Finding
+
+__all__ = ["load_baseline", "save_baseline", "partition"]
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"malformed baseline file: {path}")
+    out: Dict[str, int] = {}
+    for fp, entry in data["findings"].items():
+        out[fp] = int(entry["count"]) if isinstance(entry, dict) else int(entry)
+    return out
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    grouped: Dict[str, Dict[str, object]] = {}
+    for f in findings:
+        fp = f.fingerprint()
+        if fp in grouped:
+            grouped[fp]["count"] = int(grouped[fp]["count"]) + 1  # type: ignore[arg-type]
+        else:
+            grouped[fp] = {
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "message": f.message,
+                "count": 1,
+            }
+    payload = {"version": 1, "findings": grouped}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split into (new, grandfathered) against baselined per-print counts."""
+    budget = dict(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        fp = f.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    return new, old

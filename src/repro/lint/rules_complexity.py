@@ -1,0 +1,221 @@
+"""R4 — complexity smells in hot paths.
+
+The library's claims are asymptotic; an accidental O(n) membership probe
+or an O(n + m) preprocessing call repeated inside a loop quietly changes
+the exponent that the benchmarks then "measure". Three checks:
+
+* **R4a** — ``x in <list literal>`` / ``x in list(...)`` inside a loop:
+  linear probes where a set/frozenset is O(1);
+* **R4b** — a call to a known-expensive preprocessing function
+  (``degeneracy_order``, ``build_communities``, ``orient_by_order``,
+  ``np.flatnonzero``, …) inside a loop, with every argument loop-
+  invariant: the result never changes, hoist it;
+* **R4c** — one-hop interprocedural variant of R4b: a loop calls a
+  same-module helper that internally runs expensive preprocessing on a
+  parameter, and the call site passes a loop-invariant argument for that
+  parameter (e.g. an early-exit search that redoes the degeneracy order
+  of the *same graph* on every iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .core import Finding, Module, Rule, call_name, qualsymbol, root_name
+
+__all__ = ["ComplexityRule", "EXPENSIVE_CALLS"]
+
+EXPENSIVE_CALLS = {
+    "degeneracy_order",
+    "approx_degeneracy_order",
+    "community_degeneracy_order",
+    "approx_community_order",
+    "orient_by_order",
+    "build_communities",
+    "flatnonzero",
+    "argsort",
+    "subgraph",
+}
+
+
+def _tail(name: str) -> str:
+    return name.split(".")[-1] if name else ""
+
+
+def _loop_bound_names(loop: ast.stmt) -> Set[str]:
+    """Names that vary across iterations: loop targets, names stored in
+    the body, and bases of in-place mutations (``active[v] = False``)."""
+    bound: Set[str] = set()
+    if isinstance(loop, ast.For):
+        for node in ast.walk(loop.target):
+            if isinstance(node, ast.Name):
+                bound.add(node.id)
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Subscript, ast.Attribute)) and isinstance(
+            node.ctx, ast.Store
+        ):
+            base = root_name(node)
+            if base is not None:
+                bound.add(base)
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            # Conservatively assume method calls may mutate the receiver.
+            base = root_name(node.func)
+            if base is not None and node.func.attr in _INPLACE_HINTS:
+                bound.add(base)
+    return bound
+
+
+_INPLACE_HINTS = {
+    "append", "extend", "add", "update", "pop", "remove", "discard",
+    "clear", "insert", "sort", "reverse", "fill", "put", "setdefault",
+}
+
+
+def _names_in(node: ast.expr) -> Set[str]:
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def _expensive_param_map(
+    tree: ast.Module,
+) -> Dict[str, Tuple[List[str], Set[str]]]:
+    """For each module function: (parameter order, params fed to
+    expensive preprocessing calls inside its body)."""
+    out: Dict[str, Tuple[List[str], Set[str]]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = [
+            a.arg
+            for a in list(node.args.posonlyargs) + list(node.args.args)
+        ]
+        fed: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and _tail(call_name(sub)) in EXPENSIVE_CALLS:
+                # Only the data argument (first positional) counts: scalar
+                # thresholds and trackers forwarded by keyword are not what
+                # gets recomputed.
+                if sub.args:
+                    base = root_name(sub.args[0])
+                    if base in params:
+                        fed.add(base)
+        fed.discard("tracker")
+        if fed:
+            out[node.name] = (params, fed)
+    return out
+
+
+class ComplexityRule(Rule):
+    rule_id = "R4"
+    name = "complexity-smells"
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        helper_map = _expensive_param_map(module.tree)
+
+        def emit(node: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    symbol=qualsymbol(module, node),
+                    message=message,
+                )
+            )
+
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            bound = _loop_bound_names(loop)
+            body_nodes = [n for stmt in loop.body for n in ast.walk(stmt)]
+            for sub in body_nodes:
+                if isinstance(sub, ast.Compare):
+                    self._check_membership(sub, emit)
+                elif isinstance(sub, ast.Call):
+                    self._check_expensive(sub, bound, emit)
+                    self._check_helper(sub, bound, helper_map, emit)
+        # Nested loops walk the same call once per level; keep one finding.
+        return list(dict.fromkeys(findings))
+
+    # -- R4a ---------------------------------------------------------------
+
+    def _check_membership(self, node: ast.Compare, emit) -> None:
+        for op, comp in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.In, ast.NotIn)):
+                continue
+            if isinstance(comp, ast.List) or (
+                isinstance(comp, ast.Call) and call_name(comp) == "list"
+            ):
+                emit(
+                    node,
+                    "membership test against a list inside a loop is "
+                    "O(len) per probe; use a set/frozenset built once "
+                    "outside the loop",
+                )
+
+    # -- R4b ---------------------------------------------------------------
+
+    def _check_expensive(self, node: ast.Call, bound: Set[str], emit) -> None:
+        name = call_name(node)
+        if _tail(name) not in EXPENSIVE_CALLS:
+            return
+        arg_names: Set[str] = set()
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            arg_names.update(_names_in(arg))
+        if arg_names and not (arg_names & bound):
+            emit(
+                node,
+                f"loop-invariant call to expensive '{name}' inside a "
+                "loop recomputes the same result every iteration; "
+                "hoist it above the loop",
+            )
+
+    # -- R4c ---------------------------------------------------------------
+
+    def _check_helper(
+        self,
+        node: ast.Call,
+        bound: Set[str],
+        helper_map: Dict[str, Tuple[List[str], Set[str]]],
+        emit,
+    ) -> None:
+        name = call_name(node)
+        if name not in helper_map:
+            return
+        params, fed = helper_map[name]
+        for i, arg in enumerate(node.args):
+            if i >= len(params) or params[i] not in fed:
+                continue
+            names = _names_in(arg)
+            if names and not (names & bound):
+                emit(
+                    node,
+                    f"'{name}' internally runs expensive preprocessing "
+                    f"on parameter '{params[i]}', and this loop passes "
+                    "the same value every iteration — restructure to "
+                    "build the shared preprocessing once outside the "
+                    "loop",
+                )
+                return
+        for kw in node.keywords:
+            if kw.arg in fed:
+                names = _names_in(kw.value)
+                if names and not (names & bound):
+                    emit(
+                        node,
+                        f"'{name}' internally runs expensive "
+                        f"preprocessing on parameter '{kw.arg}', and "
+                        "this loop passes the same value every "
+                        "iteration — hoist the shared preprocessing",
+                    )
+                    return

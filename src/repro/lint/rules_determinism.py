@@ -1,0 +1,243 @@
+"""R3 — determinism.
+
+Clique listings are compared across engines, serialized into regression
+fixtures, and diffed between runs; any order that leaks out of a hash-
+based container silently breaks all three. The rule performs a light
+local type inference (annotations + literal assignments) to find
+set-typed expressions, then flags:
+
+* ``for``/comprehension iteration over a set-typed expression (including
+  ``list(<set>)`` wrappers and set-algebra like ``p - adj[pivot]``) —
+  sets of ``str`` iterate in a different order every interpreter run
+  under hash randomization;
+* ``max()``/``min()`` over a set-typed expression **with a ``key=``** —
+  ties are broken by iteration order (no ``key`` means ties are equal
+  values, which is deterministic);
+* ``eval``/``exec`` in library code;
+* calls on the process-global RNG (``random.shuffle``,
+  ``np.random.permutation``, ``np.random.seed``…) instead of an
+  explicitly seeded ``np.random.default_rng(seed)`` / ``Generator``.
+
+``sorted(<set>)`` is the canonical fix and is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .core import Finding, Module, Rule, call_name, qualsymbol
+
+__all__ = ["DeterminismRule"]
+
+_SET_ANNOTATIONS = {"set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet"}
+_SET_CTORS = {"set", "frozenset"}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SEEDED_RNG = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "RandomState",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "get_state",
+    "bit_generator",
+}
+
+
+def _annotation_head(ann: ast.expr) -> str:
+    """'Set' for ``Set[int]``, 'List' for ``List[Set[int]]``, etc."""
+    if isinstance(ann, ast.Subscript):
+        return _annotation_head(ann.value)
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            return _annotation_head(ast.parse(ann.value, mode="eval").body)
+        except SyntaxError:
+            return ""
+    return ""
+
+
+def _annotation_inner(ann: ast.expr) -> Optional[ast.expr]:
+    """The element annotation of a container annotation, if subscripted."""
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if not isinstance(ann, ast.Subscript):
+        return None
+    inner = ann.slice
+    if isinstance(inner, ast.Tuple) and inner.elts:
+        return inner.elts[-1]
+    return inner
+
+
+class _SetTypes:
+    """Set-typed names and container-of-set names within one function."""
+
+    def __init__(self, fn: ast.AST) -> None:
+        self.set_names: Set[str] = set()
+        self.set_container_names: Set[str] = set()
+        args = []
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = (
+                list(fn.args.posonlyargs)
+                + list(fn.args.args)
+                + list(fn.args.kwonlyargs)
+            )
+        for arg in args:
+            if arg.annotation is not None:
+                self._learn(arg.arg, arg.annotation)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                self._learn(node.target.id, node.annotation)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                t = node.targets[0]
+                if isinstance(t, ast.Name) and self._value_is_set(node.value):
+                    self.set_names.add(t.id)
+
+    def _learn(self, name: str, ann: ast.expr) -> None:
+        head = _annotation_head(ann)
+        if head in _SET_ANNOTATIONS:
+            self.set_names.add(name)
+        elif head in {"List", "list", "Dict", "dict", "Sequence", "Tuple", "tuple"}:
+            inner = _annotation_inner(ann)
+            if inner is not None and _annotation_head(inner) in _SET_ANNOTATIONS:
+                self.set_container_names.add(name)
+
+    def _value_is_set(self, value: ast.expr) -> bool:
+        if isinstance(value, ast.Set) or isinstance(value, ast.SetComp):
+            return True
+        if isinstance(value, ast.Call) and call_name(value) in _SET_CTORS:
+            return True
+        return False
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in _SET_CTORS:
+                return True
+            # list(<set expr>) keeps the nondeterministic order.
+            if name == "list" and node.args:
+                return self.is_set_expr(node.args[0])
+            return False
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            return (
+                isinstance(base, ast.Name)
+                and base.id in self.set_container_names
+            )
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+
+class DeterminismRule(Rule):
+    rule_id = "R3"
+    name = "determinism"
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+
+        def emit(node: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    symbol=qualsymbol(module, node),
+                    message=message,
+                )
+            )
+
+        scopes: List[ast.AST] = [module.tree] + [
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            types = _SetTypes(scope)
+            for node in ast.iter_child_nodes(scope):
+                self._scan(node, types, emit, top=scope)
+
+        # Module-wide syntactic checks (no type context needed).
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in {"eval", "exec"}:
+                    emit(
+                        node,
+                        f"'{name}' in library code defeats static "
+                        "auditability and reproducibility",
+                    )
+                elif self._is_global_rng(name):
+                    emit(
+                        node,
+                        f"call to process-global RNG '{name}'; use an "
+                        "explicitly seeded np.random.default_rng(seed) "
+                        "passed through the call chain",
+                    )
+        return findings
+
+    def _scan(self, node: ast.AST, types: "_SetTypes", emit, top) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # handled as its own scope
+        for sub in [node]:
+            if isinstance(sub, ast.For) and types.is_set_expr(sub.iter):
+                emit(
+                    sub.iter,
+                    "iteration over a set has no stable order (hash "
+                    "randomization); wrap in sorted(...) or keep an "
+                    "ordered container",
+                )
+            elif isinstance(sub, (ast.ListComp, ast.GeneratorExp)):
+                # Set/dict comprehensions re-enter an unordered container;
+                # only ordered results can leak hash order.
+                for gen in sub.generators:
+                    if types.is_set_expr(gen.iter):
+                        emit(
+                            gen.iter,
+                            "comprehension iterates a set in hash order; "
+                            "wrap in sorted(...) if the result's order "
+                            "can reach any output",
+                        )
+            elif isinstance(sub, ast.Call):
+                name = call_name(sub)
+                if (
+                    name in {"max", "min"}
+                    and sub.args
+                    and types.is_set_expr(sub.args[0])
+                    and any(kw.arg == "key" for kw in sub.keywords)
+                ):
+                    emit(
+                        sub,
+                        f"{name}() with key= over a set breaks ties by "
+                        "hash order; sort the candidates or fold the "
+                        "tie-break into the key",
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, types, emit, top)
+
+    @staticmethod
+    def _is_global_rng(name: str) -> bool:
+        if not name:
+            return False
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            return parts[1] not in {"Random", "SystemRandom"}
+        if len(parts) >= 3 and parts[0] in {"np", "numpy"} and parts[1] == "random":
+            return parts[2] not in _SEEDED_RNG
+        return False

@@ -1,0 +1,166 @@
+"""R1 — instrumentation completeness.
+
+A function that accepts a ``tracker``/``Tracker`` parameter exists to have
+its work accounted. The paper's Table-1 claims are statements about
+tracked work/depth, so a loop that silently skips the tracker corrupts
+the reproduction's numbers without failing any test.
+
+The rule flags loops inside tracker-accepting functions when
+
+* the loop body contains no charging interaction — no
+  ``tracker.charge``/``charge_ops`` call, no ``region.add_task_cost`` or
+  ``region.task()``, and no call that forwards the tracker parameter to
+  an instrumented callee — **and**
+* the function does not charge the tracker anywhere outside its loops
+  (the amortized idiom of e.g. ``degeneracy_order``, which pre-charges
+  the aggregate ``O(n + m)`` cost of the whole peeling, is accepted).
+
+Functions with loops and *zero* interactions with their tracker anywhere
+are always flagged — that is the "accepts a tracker, never charges it"
+bug class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .core import Finding, Module, Rule, call_name
+
+__all__ = ["InstrumentationRule"]
+
+_CHARGE_ATTRS = {"charge", "charge_ops"}
+_REGION_ATTRS = {"add_task_cost", "task"}
+
+
+def _tracker_param(fn: ast.FunctionDef) -> Optional[str]:
+    """Name of the tracker parameter, if the function accepts one."""
+    args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+        fn.args.kwonlyargs
+    )
+    for arg in args:
+        if arg.arg == "tracker":
+            return arg.arg
+        ann = arg.annotation
+        if ann is not None and "Tracker" in ast.dump(ann):
+            return arg.arg
+    return None
+
+
+def _is_charge_interaction(node: ast.AST, param: str) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        # <param>.charge(...) / <param>.charge_ops(...)
+        if (
+            func.attr in _CHARGE_ATTRS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == param
+        ):
+            return True
+        # region.add_task_cost(...) / region.task() — any receiver; the
+        # region object can only have come from some tracker.parallel().
+        if func.attr in _REGION_ATTRS:
+            return True
+    # Delegation: the tracker is forwarded to an instrumented callee,
+    # positionally or by keyword (the callee charges on our behalf).
+    for a in node.args:
+        if isinstance(a, ast.Name) and a.id == param:
+            return True
+    for kw in node.keywords:
+        if isinstance(kw.value, ast.Name) and kw.value.id == param:
+            return True
+    return False
+
+
+def _loops_in(fn: ast.FunctionDef) -> List[ast.stmt]:
+    """Top-level-walk loops of ``fn``, excluding nested function defs."""
+    loops: List[ast.stmt] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(child, (ast.For, ast.While)):
+                loops.append(child)
+            visit(child)
+
+    visit(fn)
+    return loops
+
+
+def _subtree_has_interaction(node: ast.AST, param: str) -> bool:
+    for sub in ast.walk(node):
+        if _is_charge_interaction(sub, param):
+            return True
+    return False
+
+
+class InstrumentationRule(Rule):
+    rule_id = "R1"
+    name = "instrumentation-completeness"
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tracker = _tracker_param(node)
+            if tracker is None:
+                continue
+            loops = _loops_in(node)
+            if not loops:
+                continue
+            # Only outermost loops are judged: a charge anywhere inside a
+            # loop nest (e.g. once per round of a peeling loop) amortizes
+            # the whole nest under this repo's charging idiom.
+            outer = [
+                lp
+                for lp in loops
+                if not any(
+                    other is not lp
+                    and other.lineno <= lp.lineno
+                    and (getattr(other, "end_lineno", other.lineno) or 0)
+                    >= (getattr(lp, "end_lineno", lp.lineno) or 0)
+                    for other in loops
+                )
+            ]
+            uncharged = [
+                lp
+                for lp in outer
+                if not _subtree_has_interaction(lp, tracker)
+            ]
+            if not uncharged:
+                continue
+            # Amortized idiom: an explicit charge outside the loops covers
+            # the function's loop work in aggregate.
+            loop_lines: Set[int] = set()
+            for lp in loops:
+                end = getattr(lp, "end_lineno", lp.lineno) or lp.lineno
+                loop_lines.update(range(lp.lineno, end + 1))
+            charges_outside = any(
+                _is_charge_interaction(sub, tracker)
+                and getattr(sub, "lineno", 0) not in loop_lines
+                for sub in ast.walk(node)
+            )
+            if charges_outside:
+                continue
+            for lp in uncharged:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=lp.lineno,
+                        col=lp.col_offset,
+                        symbol=node.name,
+                        message=(
+                            f"function '{node.name}' accepts a tracker but "
+                            "this loop never charges it (no charge/"
+                            "charge_ops/add_task_cost/region.task and no "
+                            "call forwarding the tracker); its work is "
+                            "invisible to the work/depth accounting"
+                        ),
+                    )
+                )
+        return findings

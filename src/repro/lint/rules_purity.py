@@ -1,0 +1,274 @@
+"""R2 — parallel-region purity (the static half of the race detector).
+
+Two kinds of "conceptually parallel" code exist in this repo:
+
+* ``with region.task():`` blocks under ``tracker.parallel()`` — today they
+  execute sequentially, but they model CREW tasks and the ROADMAP points
+  at running them for real;
+* module-level worker functions dispatched through
+  :func:`repro.pram.executor.parallel_map_reduce` — these *do* run in
+  forked processes.
+
+Inside either context, a write to anything outside the task's own frame
+is a race on a real CREW machine (and, for forked workers, a silent
+no-op that diverges from the sequential path). The rule flags:
+
+* ``global`` / ``nonlocal`` statements;
+* assignments (plain or augmented) to closure variables or module
+  globals;
+* subscript/attribute stores whose base is a module global, a closure
+  variable, or a worker parameter (argument mutation);
+* mutating method calls (``append``, ``update``, ``sort``, …) on worker
+  parameters or module globals;
+* worker functions *reading* a module-level mutable global (the
+  ``_SHARED`` dict pattern): under fork the parent may mutate it between
+  dispatches, and under spawn it is silently empty — pass state through
+  the executor's ``state=`` channel instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .core import Finding, Module, Rule, call_name, root_name
+
+__all__ = ["PurityRule"]
+
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "sort",
+    "reverse",
+    "fill",
+    "put",
+    "itemset",
+}
+
+_DISPATCHERS = {"parallel_map_reduce"}
+
+
+def _worker_names(tree: ast.Module) -> Set[str]:
+    """Functions passed by name as first argument to an executor dispatch."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name.split(".")[-1] in _DISPATCHERS and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Name):
+                out.add(first.id)
+    return out
+
+
+def _bound_names(stmts: List[ast.stmt]) -> Set[str]:
+    """Names bound (assigned, for-target, with-as) within statements."""
+    bound: Set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                bound.add(node.id)
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                nm = root_name(node.optional_vars)
+                if nm:
+                    bound.add(nm)
+    return bound
+
+
+def _is_task_with(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.With):
+        return False
+    for item in stmt.items:
+        ctx = item.context_expr
+        if (
+            isinstance(ctx, ast.Call)
+            and isinstance(ctx.func, ast.Attribute)
+            and ctx.func.attr == "task"
+        ):
+            return True
+    return False
+
+
+class PurityRule(Rule):
+    rule_id = "R2"
+    name = "parallel-region-purity"
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        workers = _worker_names(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in workers:
+                    findings.extend(self._check_worker(module, node))
+                findings.extend(self._check_task_blocks(module, node))
+        return findings
+
+    # -- forked worker functions ------------------------------------------
+
+    def _check_worker(
+        self, module: Module, fn: ast.FunctionDef
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        params = {
+            a.arg
+            for a in (
+                list(fn.args.posonlyargs)
+                + list(fn.args.args)
+                + list(fn.args.kwonlyargs)
+            )
+        }
+        local = _bound_names(fn.body)
+
+        def emit(n: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=getattr(n, "lineno", fn.lineno),
+                    col=getattr(n, "col_offset", 0),
+                    symbol=fn.name,
+                    message=message,
+                )
+            )
+
+        for sub in ast.walk(fn):
+            if isinstance(sub, (ast.Global, ast.Nonlocal)):
+                emit(
+                    sub,
+                    f"worker '{fn.name}' declares "
+                    f"{'global' if isinstance(sub, ast.Global) else 'nonlocal'}"
+                    " state; forked workers must not write shared scope",
+                )
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                if sub.id in module.module_globals and sub.id not in params:
+                    emit(
+                        sub,
+                        f"worker '{fn.name}' rebinds module global "
+                        f"'{sub.id}'; the write is lost in the parent "
+                        "process and races under threads",
+                    )
+            elif isinstance(sub, (ast.Subscript, ast.Attribute)) and isinstance(
+                sub.ctx, ast.Store
+            ):
+                base = root_name(sub)
+                if base in module.module_globals:
+                    emit(
+                        sub,
+                        f"worker '{fn.name}' writes into module global "
+                        f"'{base}'; pass results back through the return "
+                        "value instead",
+                    )
+                elif base in params:
+                    emit(
+                        sub,
+                        f"worker '{fn.name}' mutates its argument "
+                        f"'{base}'; under fork the mutation is invisible "
+                        "to the parent and the sequential path diverges",
+                    )
+            elif isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                base = root_name(sub.func)
+                if (
+                    sub.func.attr in _MUTATORS
+                    and base is not None
+                    and (base in params or base in module.module_globals)
+                    and base not in local
+                ):
+                    emit(
+                        sub,
+                        f"worker '{fn.name}' calls mutating method "
+                        f"'.{sub.func.attr}()' on "
+                        f"{'parameter' if base in params else 'module global'}"
+                        f" '{base}'",
+                    )
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if (
+                    sub.id in module.mutable_globals
+                    and sub.id not in params
+                    and sub.id not in local
+                ):
+                    emit(
+                        sub,
+                        f"worker '{fn.name}' reads fork-shared mutable "
+                        f"global '{sub.id}'; pass it through the "
+                        "executor's state=/initializer channel so nested "
+                        "calls cannot clobber it",
+                    )
+        return findings
+
+    # -- with region.task(): blocks ---------------------------------------
+
+    def _check_task_blocks(
+        self, module: Module, fn: ast.FunctionDef
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        outer_bound = _bound_names(fn.body) | {
+            a.arg
+            for a in (
+                list(fn.args.posonlyargs)
+                + list(fn.args.args)
+                + list(fn.args.kwonlyargs)
+            )
+        }
+
+        def emit(n: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=getattr(n, "lineno", fn.lineno),
+                    col=getattr(n, "col_offset", 0),
+                    symbol=fn.name,
+                    message=message,
+                )
+            )
+
+        for stmt in ast.walk(fn):
+            if not _is_task_with(stmt):
+                continue
+            block_bound = _bound_names(stmt.body)
+            shared = (outer_bound - block_bound) | module.module_globals
+            for sub in ast.walk(stmt):
+                if sub is stmt:
+                    continue
+                if isinstance(sub, (ast.Global, ast.Nonlocal)):
+                    emit(sub, "parallel task declares global/nonlocal state")
+                elif isinstance(sub, ast.AugAssign):
+                    # An augmented assignment reads the pre-block value, so
+                    # the target being rebound inside the block does not
+                    # make it private to the task.
+                    nm = root_name(sub.target)
+                    if nm in outer_bound or nm in module.module_globals:
+                        emit(
+                            sub,
+                            f"parallel task accumulates into shared "
+                            f"variable '{nm}'; two real CREW tasks doing "
+                            "this is a concurrent write — return a "
+                            "per-task partial and combine outside, or "
+                            "use region.add_task_cost",
+                        )
+                elif isinstance(
+                    sub, (ast.Subscript, ast.Attribute)
+                ) and isinstance(sub.ctx, ast.Store):
+                    nm = root_name(sub)
+                    if nm in shared and nm not in block_bound:
+                        emit(
+                            sub,
+                            f"parallel task writes into shared object "
+                            f"'{nm}'; writes from concurrent tasks race "
+                            "unless provably disjoint — record them with "
+                            "the CREW sanitizer if intentional",
+                        )
+        return findings

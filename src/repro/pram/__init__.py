@@ -2,7 +2,13 @@
 Brent scheduling simulation, and process-based execution."""
 
 from .cost import Cost, ZERO, par, par_for, seq
-from .executor import available_workers, chunk_indices, parallel_map_reduce
+from .executor import (
+    available_workers,
+    chunk_indices,
+    parallel_map_reduce,
+    worker_state,
+)
+from .sanitize import CREWViolation, ShadowArray
 from .primitives import (
     log2p1,
     phistogram,
@@ -48,6 +54,9 @@ __all__ = [
     "parallel_map_reduce",
     "available_workers",
     "chunk_indices",
+    "worker_state",
+    "CREWViolation",
+    "ShadowArray",
     "StealResult",
     "simulate_work_stealing",
 ]

@@ -11,6 +11,13 @@ The worker function must be a module-level callable taking
 combined with a user-supplied associative ``combine``. Graph arrays are
 inherited copy-on-write through ``fork`` on Linux, so no serialization of
 the (potentially large) CSR arrays happens on the hot path.
+
+Shared worker state travels through the ``state=`` channel: the parent
+passes one immutable-by-convention object, each forked child receives it
+via the pool initializer, and the worker reads it back with
+:func:`worker_state`. The sequential path pushes/pops the same state on a
+stack, so nested ``parallel_map_reduce`` calls cannot clobber each other
+(lint rule R2 flags the module-global alternative).
 """
 
 from __future__ import annotations
@@ -21,9 +28,39 @@ from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["parallel_map_reduce", "available_workers", "chunk_indices"]
+from .tracker import Tracker
+
+__all__ = [
+    "parallel_map_reduce",
+    "available_workers",
+    "chunk_indices",
+    "worker_state",
+]
 
 T = TypeVar("T")
+
+# Stack (not a single slot) of shared worker states: re-entrant calls on
+# the sequential path push/pop without clobbering the outer state, and a
+# forked child pushes exactly once via the pool initializer.
+_STATE_STACK: List[Any] = []
+
+
+def _push_state(state: Any) -> None:
+    _STATE_STACK.append(state)
+
+
+def worker_state() -> Any:
+    """The ``state=`` object the enclosing ``parallel_map_reduce`` passed.
+
+    Valid inside a worker function during a dispatch that supplied
+    ``state=``; raises ``RuntimeError`` otherwise.
+    """
+    if not _STATE_STACK:
+        raise RuntimeError(
+            "worker_state() called outside a parallel_map_reduce dispatch "
+            "with state=; pass your shared state through the executor"
+        )
+    return _STATE_STACK[-1]
 
 
 def available_workers(requested: Optional[int] = None) -> int:
@@ -54,28 +91,69 @@ def parallel_map_reduce(
     combine: Callable[[T, T], T] = lambda a, b: a + b,  # type: ignore[operator]
     n_workers: Optional[int] = None,
     chunks_per_worker: int = 4,
+    state: Any = None,
+    initial: Optional[T] = None,
+    tracker: Optional[Tracker] = None,
 ) -> Optional[T]:
     """Apply ``worker(chunk, *args)`` over chunks of ``range(n)`` and fold.
 
     With ``n_workers == 1`` (or ``n`` small) this degrades to a plain
     sequential loop with no process overhead, so instrumented costs stay
-    comparable. Returns ``None`` for an empty range.
+    comparable.
+
+    Contract: an empty range (``n == 0``) returns ``initial`` — pass
+    ``initial=0`` (or your monoid's identity) instead of relying on the
+    falsiness of ``None``. A non-empty reduction folds ``initial`` in as
+    the leftmost operand when it is not ``None``.
+
+    ``state`` is delivered to workers via :func:`worker_state` (see module
+    docstring). A ``tracker`` built with ``sanitize=True`` forces the
+    sequential path and runs every chunk as one task of a CREW-checked
+    parallel region, so worker writes recorded against watched arrays
+    raise :class:`~repro.pram.sanitize.CREWViolation` on conflicts.
     """
     workers = available_workers(n_workers)
+    sanitizing = tracker is not None and tracker.sanitize
+    if sanitizing:
+        workers = 1  # conflict detection needs every chunk in-process
     if n == 0:
-        return None
+        return initial
     blocks = chunk_indices(n, workers * chunks_per_worker)
+
     if workers == 1 or len(blocks) == 1:
-        result: Optional[T] = None
-        for block in blocks:
-            part = worker(block, *args)
-            result = part if result is None else combine(result, part)
-        return result
+        if state is not None:
+            _push_state(state)
+        try:
+            result: Optional[T] = initial
+            if sanitizing:
+                assert tracker is not None
+                with tracker.parallel() as region:
+                    for block in blocks:
+                        with region.task():
+                            part = worker(block, *args)
+                        result = (
+                            part if result is None else combine(result, part)
+                        )
+            else:
+                # The tracker here is a sanitizer handle, not a cost
+                # channel: workers charge their own trackers (if any).
+                for block in blocks:  # lint: ignore[R1]
+                    part = worker(block, *args)
+                    result = part if result is None else combine(result, part)
+            return result
+        finally:
+            if state is not None:
+                _STATE_STACK.pop()
 
     ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
-    with ctx.Pool(processes=workers) as pool:
+    pool_kwargs = {}
+    if state is not None:
+        # Children push once at startup; under fork the state is inherited
+        # copy-on-write, so nothing large is pickled.
+        pool_kwargs = {"initializer": _push_state, "initargs": (state,)}
+    with ctx.Pool(processes=workers, **pool_kwargs) as pool:
         parts = pool.starmap(worker, [(block, *args) for block in blocks])
-    result = None
-    for part in parts:
+    result = initial
+    for part in parts:  # lint: ignore[R1]  (fold of O(workers) partials)
         result = part if result is None else combine(result, part)
     return result

@@ -1,0 +1,253 @@
+"""Runtime CREW sanitizer: per-task read/write sets on shared arrays.
+
+The paper's model is a CREW PRAM — concurrent reads are free, but no
+cell may be written by one task while any *other* task reads or writes
+it. Our ``Tracker`` simulates parallel regions sequentially, so a data
+race costs nothing today; the moment the same code runs on the real
+process/thread backends it becomes a heisenbug. The sanitizer turns the
+CREW contract into a machine-checked property:
+
+>>> from repro.pram import Tracker
+>>> t = Tracker(sanitize=True)
+>>> shared = t.watch([0, 0, 0], name="shared")
+>>> with t.parallel() as region:
+...     with region.task():
+...         shared[0] = 1          # task 0 writes cell 0
+...     with region.task():
+...         shared[1] = 2          # disjoint cell: fine
+>>> t.total.work >= 0
+True
+
+Two tasks of one region touching the same cell with at least one write
+raises :class:`CREWViolation` at the moment the offending task closes.
+Accesses can be recorded explicitly (``tracker.record_write(arr, i)``)
+or implicitly by wrapping the array in a :class:`ShadowArray` via
+``tracker.watch(arr)``. Nested regions fold their combined access sets
+into the enclosing task, so a race between two outer tasks is still
+caught when the writes happened deep inside inner regions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+__all__ = ["CREWViolation", "ShadowArray", "Sanitizer", "TaskAccess", "RegionLog"]
+
+IndexKey = Union[int, Tuple[Any, ...], str]
+_ArrayKey = int
+
+
+class CREWViolation(RuntimeError):
+    """Two tasks of one parallel region conflicted on a shared cell."""
+
+    def __init__(
+        self,
+        message: str,
+        array_name: str = "<array>",
+        index: Optional[IndexKey] = None,
+        kind: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.array_name = array_name
+        self.index = index
+        self.kind = kind  # "write/write" or "read/write"
+
+
+def _normalize_indices(index: Any, length: Optional[int] = None) -> List[IndexKey]:
+    """Expand an index expression into hashable per-cell keys."""
+    if isinstance(index, slice):
+        if length is None:
+            raise TypeError("slice access needs a known array length")
+        return list(range(*index.indices(length)))
+    if isinstance(index, (bool, np.bool_)):
+        raise TypeError("boolean scalar is not a valid cell index")
+    if isinstance(index, (int, np.integer)):
+        return [int(index)]
+    if isinstance(index, tuple):
+        return [tuple(int(x) if isinstance(x, np.integer) else x for x in index)]
+    if isinstance(index, np.ndarray):
+        if index.dtype == bool:
+            return [int(i) for i in np.flatnonzero(index)]
+        return [int(i) for i in index.ravel()]
+    if isinstance(index, Iterable) and not isinstance(index, (str, bytes)):
+        return [int(i) for i in index]
+    return [str(index)]
+
+
+class TaskAccess:
+    """Read/write sets recorded by one open task."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: Dict[_ArrayKey, Set[IndexKey]] = {}
+        self.writes: Dict[_ArrayKey, Set[IndexKey]] = {}
+
+    def record(self, key: _ArrayKey, cells: List[IndexKey], write: bool) -> None:
+        store = self.writes if write else self.reads
+        store.setdefault(key, set()).update(cells)
+
+
+class RegionLog:
+    """Accesses of all *closed* tasks of one region, per cell."""
+
+    __slots__ = ("writers", "readers")
+
+    def __init__(self) -> None:
+        # array key -> cell -> task id of the (unique, CREW) writer
+        self.writers: Dict[_ArrayKey, Dict[IndexKey, int]] = {}
+        # array key -> cell -> ids of every task that read it
+        self.readers: Dict[_ArrayKey, Dict[IndexKey, Set[int]]] = {}
+
+
+class Sanitizer:
+    """Tracks the active task stack and checks CREW conflicts.
+
+    One sanitizer belongs to one :class:`~repro.pram.tracker.Tracker`.
+    Records are silently dropped while no task is open (sequential code
+    cannot race with itself).
+    """
+
+    def __init__(self) -> None:
+        self._task_stack: List[TaskAccess] = []
+        self._names: Dict[_ArrayKey, str] = {}
+
+    # -- naming -----------------------------------------------------------
+
+    def register(self, obj: Any, name: Optional[str]) -> None:
+        if name:
+            self._names[id(obj)] = name
+
+    def _name_of(self, key: _ArrayKey) -> str:
+        return self._names.get(key, f"<array #{key & 0xFFFF:04x}>")
+
+    # -- recording --------------------------------------------------------
+
+    @property
+    def in_task(self) -> bool:
+        return bool(self._task_stack)
+
+    def record(
+        self,
+        obj: Any,
+        index: Any,
+        write: bool,
+        length: Optional[int] = None,
+    ) -> None:
+        if not self._task_stack:
+            return
+        if length is None:
+            try:
+                length = len(obj)
+            except TypeError:
+                length = None
+        cells = _normalize_indices(index, length)
+        self._task_stack[-1].record(id(obj), cells, write)
+
+    # -- task lifecycle ---------------------------------------------------
+
+    def open_task(self) -> TaskAccess:
+        acc = TaskAccess()
+        self._task_stack.append(acc)
+        return acc
+
+    def close_task(self, acc: TaskAccess, log: RegionLog, task_id: int) -> None:
+        """Pop ``acc`` and merge into ``log``, raising on CREW conflicts."""
+        popped = self._task_stack.pop()
+        assert popped is acc, "task close out of order"
+        for key, cells in acc.writes.items():
+            writers = log.writers.setdefault(key, {})
+            readers = log.readers.get(key, {})
+            for cell in cells:
+                other = writers.get(cell)
+                if other is not None and other != task_id:
+                    raise CREWViolation(
+                        f"concurrent write to {self._name_of(key)}[{cell}]: "
+                        f"tasks {other} and {task_id} of the same parallel "
+                        "region both wrote it (CREW forbids concurrent "
+                        "writes)",
+                        array_name=self._name_of(key),
+                        index=cell,
+                        kind="write/write",
+                    )
+                conc_readers = readers.get(cell, set()) - {task_id}
+                if conc_readers:
+                    raise CREWViolation(
+                        f"read/write race on {self._name_of(key)}[{cell}]: "
+                        f"task {task_id} wrote a cell read by task(s) "
+                        f"{sorted(conc_readers)} of the same region",
+                        array_name=self._name_of(key),
+                        index=cell,
+                        kind="read/write",
+                    )
+                writers[cell] = task_id
+        for key, cells in acc.reads.items():
+            writers = log.writers.get(key, {})
+            readers = log.readers.setdefault(key, {})
+            for cell in cells:
+                other = writers.get(cell)
+                if other is not None and other != task_id:
+                    raise CREWViolation(
+                        f"read/write race on {self._name_of(key)}[{cell}]: "
+                        f"task {task_id} read a cell written by task "
+                        f"{other} of the same region",
+                        array_name=self._name_of(key),
+                        index=cell,
+                        kind="read/write",
+                    )
+                readers.setdefault(cell, set()).add(task_id)
+
+    def fold_region(self, log: RegionLog) -> None:
+        """Merge a closed region's accesses into the enclosing task.
+
+        Makes races between *outer* tasks visible even when the accesses
+        happened inside nested regions.
+        """
+        if not self._task_stack:
+            return
+        outer = self._task_stack[-1]
+        for key, cells in log.writers.items():
+            outer.record(key, list(cells), write=True)
+        for key, cells in log.readers.items():
+            outer.record(key, list(cells), write=False)
+
+
+class ShadowArray:
+    """Transparent wrapper recording element reads/writes to a tracker.
+
+    Delegates everything to the wrapped object; only ``__getitem__`` and
+    ``__setitem__`` are intercepted. Wrap with ``tracker.watch(arr)``.
+    """
+
+    __slots__ = ("_obj", "_san")
+
+    def __init__(self, obj: Any, sanitizer: Sanitizer) -> None:
+        object.__setattr__(self, "_obj", obj)
+        object.__setattr__(self, "_san", sanitizer)
+
+    @property
+    def base(self) -> Any:
+        """The wrapped object (identity used by the conflict checker)."""
+        return self._obj
+
+    def __getitem__(self, index: Any) -> Any:
+        self._san.record(self._obj, index, write=False)
+        return self._obj[index]
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._san.record(self._obj, index, write=True)
+        self._obj[index] = value
+
+    def __len__(self) -> int:
+        return len(self._obj)
+
+    def __iter__(self):
+        return iter(self._obj)
+
+    def __repr__(self) -> str:
+        return f"ShadowArray({self._obj!r})"
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(object.__getattribute__(self, "_obj"), name)

@@ -15,16 +15,25 @@ cost down the way the paper's analysis does.
 A tracker can be disabled (``Tracker(enabled=False)``) in which case every
 operation is a cheap no-op; the module-level :data:`NULL_TRACKER` is a
 shared disabled instance that algorithms use as their default.
+
+``Tracker(sanitize=True)`` additionally arms the CREW sanitizer
+(:mod:`repro.pram.sanitize`): reads/writes recorded inside ``region.task()``
+blocks — explicitly via :meth:`Tracker.record_read` /
+:meth:`Tracker.record_write` or implicitly through arrays wrapped with
+:meth:`Tracker.watch` — are checked for concurrent-write conflicts and
+raise :class:`~repro.pram.sanitize.CREWViolation` when two tasks of one
+region touch the same cell with at least one write.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from .cost import Cost, ZERO
+from .sanitize import CREWViolation, RegionLog, Sanitizer, ShadowArray
 
-__all__ = ["Tracker", "ParallelRegion", "NULL_TRACKER"]
+__all__ = ["Tracker", "ParallelRegion", "NULL_TRACKER", "CREWViolation"]
 
 
 class ParallelRegion:
@@ -39,12 +48,20 @@ class ParallelRegion:
         self._work = 0.0
         self._max_depth = 0.0
         self._open = True
+        self._next_task_id = 0
+        self._access_log: Optional[RegionLog] = (
+            RegionLog() if tracker._sanitizer is not None else None
+        )
 
     @contextmanager
     def task(self) -> Iterator[None]:
         """One conceptually-parallel task; nested charges fold into it."""
         if not self._open:
             raise RuntimeError("parallel region already closed")
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        sanitizer = self._tracker._sanitizer
+        acc = sanitizer.open_task() if sanitizer is not None else None
         self._tracker._push_scope()
         try:
             yield
@@ -52,6 +69,9 @@ class ParallelRegion:
             cost = self._tracker._pop_scope()
             self._work += cost.work
             self._max_depth = max(self._max_depth, cost.depth)
+            if acc is not None and self._access_log is not None:
+                # May raise CREWViolation — the offending task is this one.
+                sanitizer.close_task(acc, self._access_log, task_id)
 
     def add_task_cost(self, cost: Cost) -> None:
         """Charge a whole task given directly as a cost (no context block)."""
@@ -68,12 +88,16 @@ class ParallelRegion:
 class Tracker:
     """Scoped accumulator of work/depth with named-phase attribution."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, sanitize: bool = False) -> None:
         self.enabled = enabled
         # Stack of (work, depth) accumulators; the bottom entry is the total.
         self._stack: List[List[float]] = [[0.0, 0.0]]
         self._phase_totals: Dict[str, Cost] = {}
         self._phase_stack: List[str] = []
+        self.sanitize = bool(sanitize and enabled)
+        self._sanitizer: Optional[Sanitizer] = (
+            Sanitizer() if self.sanitize else None
+        )
 
     # -- charging ---------------------------------------------------------
 
@@ -118,6 +142,38 @@ class Tracker:
             yield region
         finally:
             self.charge(region._close())
+            if self._sanitizer is not None and region._access_log is not None:
+                # Propagate the region's accesses to an enclosing task so
+                # outer-level conflicts survive nesting.
+                self._sanitizer.fold_region(region._access_log)
+
+    # -- CREW sanitizing ---------------------------------------------------
+
+    def record_read(self, array: Any, indices: Any) -> None:
+        """Record that the current task read ``array[indices]``.
+
+        No-op unless the tracker was built with ``sanitize=True`` and a
+        ``region.task()`` block is open.
+        """
+        if self._sanitizer is not None:
+            self._sanitizer.record(_unwrap(array), indices, write=False)
+
+    def record_write(self, array: Any, indices: Any) -> None:
+        """Record that the current task wrote ``array[indices]``."""
+        if self._sanitizer is not None:
+            self._sanitizer.record(_unwrap(array), indices, write=True)
+
+    def watch(self, array: Any, name: Optional[str] = None) -> Any:
+        """Wrap ``array`` so element accesses are recorded automatically.
+
+        Returns the array unchanged when sanitizing is off, so algorithms
+        can wrap shared state unconditionally with zero overhead.
+        """
+        if self._sanitizer is None:
+            return array
+        base = _unwrap(array)
+        self._sanitizer.register(base, name)
+        return ShadowArray(base, self._sanitizer)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -158,9 +214,18 @@ class Tracker:
     def reset(self) -> None:
         if len(self._stack) != 1:
             raise RuntimeError("cannot reset a tracker with open scopes")
+        if self._sanitizer is not None and self._sanitizer.in_task:
+            raise RuntimeError("cannot reset a tracker with open tasks")
         self._stack = [[0.0, 0.0]]
         self._phase_totals = {}
         self._phase_stack = []
+        if self.sanitize:
+            self._sanitizer = Sanitizer()
+
+
+def _unwrap(array: Any) -> Any:
+    """Identity of a possibly-shadowed array (records share one key)."""
+    return array.base if isinstance(array, ShadowArray) else array
 
 
 class _NullTracker(Tracker):

@@ -1,0 +1,3 @@
+# Seeded-violation fixtures for the repro.lint test suite. The modules
+# here are linted as data, never imported; names avoid the test_ prefix
+# so pytest does not collect them.

@@ -1,0 +1,22 @@
+"""A module every rule should pass untouched."""
+
+from typing import Set
+
+from repro.pram.cost import Cost
+from repro.pram.tracker import Tracker
+
+
+def charged(values, tracker: Tracker) -> int:
+    tracker.charge_ops(len(values))
+    total = 0
+    for v in values:
+        total += v
+    return total
+
+
+def ordered(candidates: Set[int]):
+    return [v for v in sorted(candidates)]
+
+
+def pure_worker(chunk) -> int:
+    return int(sum(chunk))

@@ -1,0 +1,51 @@
+"""R1 fixture: tracker-accepting functions with uncharged loops."""
+
+from repro.pram.cost import Cost
+from repro.pram.tracker import Tracker
+
+
+def uncharged_loop(values, tracker: Tracker):
+    # R1: the loop does not interact with the tracker on any path.
+    total = 0
+    for v in values:
+        total += v
+    return total
+
+
+def uncharged_by_name(values, tracker):
+    # R1: parameter named ``tracker`` counts even without an annotation.
+    out = []
+    while values:
+        out.append(values.pop())
+    return out
+
+
+def charged_loop(values, tracker: Tracker):
+    # OK: every iteration charges.
+    total = 0
+    for v in values:
+        tracker.charge(Cost(1, 1))
+        total += v
+    return total
+
+
+def amortized_charge(values, tracker: Tracker):
+    # OK: one up-front charge covers the loop (pre-charged idiom).
+    tracker.charge(Cost(len(values), 1))
+    total = 0
+    for v in values:
+        total += v
+    return total
+
+
+def forwarding_loop(values, tracker: Tracker):
+    # OK: the tracker is forwarded to an instrumented callee.
+    total = 0
+    for v in values:
+        total += charged_loop([v], tracker)
+    return total
+
+
+def no_tracker_here(values):
+    # OK: the rule only applies to tracker-accepting functions.
+    return [v * v for v in values]

@@ -1,0 +1,47 @@
+"""R2 fixture: shared-scope writes in parallel regions and workers."""
+
+from repro.pram.executor import parallel_map_reduce
+from repro.pram.tracker import Tracker
+
+_RESULTS = []
+_SHARED = {"total": 0}
+
+
+def bad_worker(chunk):
+    # R2: forked worker mutates a module-global container.
+    _RESULTS.append(chunk.sum())
+    return int(chunk.sum())
+
+
+def global_rebinder(chunk):
+    # R2: ``global`` rebinding inside a worker only updates the child.
+    global _SHARED
+    _SHARED = {"total": int(chunk.sum())}
+    return 0
+
+
+def argument_mutator(chunk, acc):
+    # R2: mutating an argument is invisible across the fork boundary.
+    acc.append(int(chunk.sum()))
+    return 0
+
+
+def good_worker(chunk):
+    # OK: pure function of its chunk.
+    return int(chunk.sum())
+
+
+def dispatch(n):
+    parallel_map_reduce(bad_worker, n)
+    parallel_map_reduce(global_rebinder, n)
+    parallel_map_reduce(argument_mutator, n, args=([],))
+    return parallel_map_reduce(good_worker, n, initial=0)
+
+
+def region_accumulator(items, tracker: Tracker):
+    total = 0
+    with tracker.parallel() as region:
+        for item in items:
+            with region.task():
+                total += item  # R2: augmented write to an outer binding
+    return total

@@ -1,0 +1,45 @@
+"""R3 fixture: hash-order leaks, eval, process-global RNG."""
+
+import random
+from typing import List, Set
+
+import numpy as np
+
+
+def iterate_set(candidates: Set[int]):
+    out = []
+    for v in candidates:  # R3: set iteration order
+        out.append(v)
+    return out
+
+
+def comprehension_over_set(candidates: Set[int]):
+    return [v * 2 for v in candidates]  # R3: ordered result from a set
+
+
+def set_algebra(p: Set[int], q: Set[int]):
+    out = []
+    for v in p - q:  # R3: difference of sets is still a set
+        out.append(v)
+    return out
+
+
+def tie_break(adj: List[Set[int]], p: Set[int]):
+    return max(p, key=lambda u: len(adj[u]))  # R3: hash-order tie-break
+
+
+def evaluate(expr: str):
+    return eval(expr)  # R3: eval in library code
+
+
+def shuffle_globally(items):
+    random.shuffle(items)  # R3: process-global RNG
+    return np.random.permutation(len(items))  # R3: np global RNG
+
+
+def sorted_is_fine(candidates: Set[int]):
+    # OK: sorted() fixes the order; set comprehensions stay unordered.
+    out = [v for v in sorted(candidates)]
+    filtered = {v for v in candidates if v > 0}
+    rng = np.random.default_rng(0)  # OK: explicitly seeded generator
+    return out, filtered, rng.integers(10)

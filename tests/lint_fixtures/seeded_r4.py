@@ -1,0 +1,51 @@
+"""R4 fixture: complexity smells in loops."""
+
+import numpy as np
+
+from repro.orders.degeneracy import degeneracy_order
+
+
+def list_membership(edges, vertices):
+    hits = 0
+    for u, v in edges:
+        if u in list(vertices):  # R4: O(n) membership probe per iteration
+            hits += 1
+        if v in [0, 1, 2, 3, 4, 5]:  # R4: literal list probe in a loop
+            hits += 1
+    return hits
+
+
+def recompute_invariant(graph, queries):
+    total = 0
+    for q in queries:
+        order = degeneracy_order(graph)  # R4: loop-invariant recomputation
+        total += int(order.order[q % len(order.order)])
+    return total
+
+
+def recompute_flatnonzero(mask, queries):
+    total = 0
+    for q in queries:
+        idx = np.flatnonzero(mask)  # R4: mask never changes in the loop
+        total += int(idx[q % idx.size])
+    return total
+
+
+def ok_variant(graph, queries):
+    order = degeneracy_order(graph)  # OK: hoisted out of the loop
+    lookup = set(queries)
+    total = 0
+    for q in queries:
+        if q in lookup:  # OK: set membership
+            total += int(order.order[q % len(order.order)])
+    return total
+
+
+def ok_mutating(mask, victims):
+    # OK: the mask is written in the loop, so the recomputation is real.
+    out = []
+    for v in victims:
+        idx = np.flatnonzero(mask)
+        out.append(idx.size)
+        mask[v] = False
+    return out

@@ -1,0 +1,26 @@
+"""Suppression-comment fixture: seeded violations, all silenced."""
+
+from typing import Set
+
+from repro.pram.tracker import Tracker
+
+
+def silenced_line(candidates: Set[int]):
+    out = []
+    for v in candidates:  # lint: ignore[R3]
+        out.append(v)
+    return out
+
+
+def silenced_function(values, tracker: Tracker):  # lint: ignore
+    total = 0
+    for v in values:
+        total += v
+    return total
+
+
+def wrong_rule_silenced(candidates: Set[int]):
+    out = []
+    for v in candidates:  # lint: ignore[R1]  (does NOT cover R3)
+        out.append(v)
+    return out

@@ -40,6 +40,17 @@ class TestListCliques:
     def test_empty_result(self):
         assert list_cliques(empty_graph(5), 4) == []
 
+    def test_output_order_is_canonical(self):
+        # Two runs — and any two variants — must produce byte-identical
+        # listings: the output is sorted lexicographically regardless of
+        # internal iteration/schedule order (lint rule R3's property).
+        g = gnm_random_graph(24, 110, seed=7)
+        first = list_cliques(g, 4)
+        second = list_cliques(g, 4)
+        assert first == second
+        assert first == sorted(first)
+        assert list_cliques(g, 4, variant="hybrid") == first
+
 
 class TestHasClique:
     def test_positive(self):

@@ -5,6 +5,16 @@ import pytest
 from repro.baselines import brute_force_count
 from repro.core import count_cliques_parallel
 from repro.graphs import complete_graph, empty_graph, gnm_random_graph
+from repro.pram.executor import parallel_map_reduce, worker_state
+
+
+def _reentrant_worker(chunk, k):
+    # Counting inside a worker dispatches a nested parallel_map_reduce
+    # whose state must not leak into (or clobber) this dispatch's state.
+    graph, tag = worker_state()
+    inner = count_cliques_parallel(graph, k, n_workers=1)
+    assert worker_state()[1] == tag
+    return inner * int(chunk.size)
 
 
 class TestSequentialPath:
@@ -17,7 +27,26 @@ class TestSequentialPath:
 
     def test_no_eligible_edges(self):
         g = gnm_random_graph(20, 25, seed=1)  # sparse, no big communities
-        assert count_cliques_parallel(g, 9, n_workers=1) == 0
+        result = count_cliques_parallel(g, 9, n_workers=1)
+        # The empty reduction returns an explicit int 0, never None
+        # (executor contract: initial=0 is the monoid identity).
+        assert result == 0 and type(result) is int
+
+    def test_reentrant_nested_dispatch(self):
+        # Regression: a worker that itself calls count_cliques_parallel
+        # used to clobber the module-global shared state of the outer
+        # dispatch; the executor's state stack keeps them separate.
+        g = complete_graph(8)
+        expected = count_cliques_parallel(g, 4, n_workers=1)
+        total = parallel_map_reduce(
+            _reentrant_worker,
+            3,
+            args=(4,),
+            n_workers=1,
+            state=(g, "outer"),
+            initial=0,
+        )
+        assert total == expected * 3
 
     def test_empty(self):
         assert count_cliques_parallel(empty_graph(4), 4, n_workers=1) == 0

@@ -1,0 +1,201 @@
+"""The linter against its seeded fixtures, the baseline, and the CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Finding,
+    load_baseline,
+    partition,
+    run_lint,
+    save_baseline,
+)
+from repro.lint.core import collect_python_files, parse_module
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+REPO = os.path.dirname(HERE)
+SRC = os.path.join(REPO, "src")
+BASELINE = os.path.join(REPO, "lint-baseline.json")
+
+
+def _fixture(name: str) -> str:
+    return os.path.join(FIXTURES, f"{name}.py")
+
+
+def _rules_of(findings) -> dict:
+    out: dict = {}
+    for f in findings:
+        out[f.rule] = out.get(f.rule, 0) + 1
+    return out
+
+
+# -- seeded fixtures -------------------------------------------------------
+
+
+def test_seeded_r1_uncharged_loops():
+    findings = run_lint([_fixture("seeded_r1")])
+    assert _rules_of(findings).get("R1") == 2
+    # The charged/amortized/forwarding/no-tracker functions stay silent:
+    # the only flagged symbols are the two seeded ones.
+    assert {f.symbol for f in findings} == {"uncharged_loop", "uncharged_by_name"}
+
+
+def test_seeded_r2_parallel_purity():
+    findings = run_lint([_fixture("seeded_r2")])
+    by_symbol = {}
+    for f in findings:
+        assert f.rule == "R2"
+        by_symbol.setdefault(f.symbol, []).append(f.message)
+    assert set(by_symbol) == {
+        "bad_worker",
+        "global_rebinder",
+        "argument_mutator",
+        "region_accumulator",
+    }
+    assert any("module global" in m for m in by_symbol["bad_worker"])
+    assert any("mutating method" in m for m in by_symbol["argument_mutator"])
+    assert any("shared variable 'total'" in m for m in by_symbol["region_accumulator"])
+
+
+def test_seeded_r3_determinism():
+    findings = run_lint([_fixture("seeded_r3")])
+    assert _rules_of(findings) == {"R3": 7}
+    messages = " | ".join(f.message for f in findings)
+    assert "iteration over a set" in messages
+    assert "eval" in messages
+    assert "process-global RNG" in messages
+    # sorted()/set-comprehension/seeded-rng idioms are never flagged.
+    assert "sorted_is_fine" not in {f.symbol for f in findings}
+
+
+def test_seeded_r4_complexity():
+    findings = run_lint([_fixture("seeded_r4")])
+    rules = _rules_of(findings)
+    assert rules == {"R4": 4}
+    symbols = {f.symbol for f in findings}
+    assert symbols == {
+        "list_membership",
+        "recompute_invariant",
+        "recompute_flatnonzero",
+    }
+    # Hoisted and genuinely-mutating loops stay silent.
+    assert "ok_variant" not in symbols and "ok_mutating" not in symbols
+
+
+def test_clean_fixture_has_no_findings():
+    assert run_lint([_fixture("clean")]) == []
+
+
+def test_suppression_comments():
+    findings = run_lint([_fixture("suppressed")])
+    # Only the wrong-rule suppression leaks through, as R3.
+    assert len(findings) == 1
+    assert findings[0].rule == "R3"
+    assert findings[0].symbol == "wrong_rule_silenced"
+
+
+# -- infrastructure --------------------------------------------------------
+
+
+def test_collect_python_files_expands_directories():
+    files = collect_python_files([FIXTURES])
+    names = {os.path.basename(p) for p in files}
+    assert "seeded_r1.py" in names and "clean.py" in names
+    with pytest.raises(FileNotFoundError):
+        collect_python_files([os.path.join(FIXTURES, "nope.txt")])
+
+
+def test_parse_module_relative_paths_and_globals():
+    mod = parse_module(_fixture("seeded_r2"), root=FIXTURES)
+    assert mod.path == "seeded_r2.py"
+    assert "_RESULTS" in mod.module_globals
+    assert "_RESULTS" in mod.mutable_globals
+
+
+def test_fingerprint_is_line_insensitive():
+    a = Finding("R3", "x.py", 10, 4, "f", "msg")
+    b = Finding("R3", "x.py", 99, 0, "f", "msg")
+    c = Finding("R3", "x.py", 10, 4, "g", "msg")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_baseline_roundtrip_and_partition(tmp_path):
+    findings = run_lint([_fixture("seeded_r3")])
+    path = str(tmp_path / "baseline.json")
+    save_baseline(path, findings)
+    baseline = load_baseline(path)
+    new, old = partition(findings, baseline)
+    assert new == [] and len(old) == len(findings)
+    # A finding beyond its baselined count is new again.
+    extra = findings + [findings[0]]
+    new, old = partition(extra, baseline)
+    assert len(new) == 1 and new[0].fingerprint() == findings[0].fingerprint()
+
+
+def test_load_baseline_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2, 3]\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+# -- the shipped tree ------------------------------------------------------
+
+
+def test_shipped_tree_is_clean_modulo_baseline():
+    findings = run_lint([SRC], root=REPO)
+    new, _ = partition(findings, load_baseline(BASELINE))
+    assert new == [], "\n".join(f"{f.location()}: {f.rule} {f.message}" for f in new)
+
+
+def test_committed_baseline_entries_still_exist():
+    # Stale entries mean a fixed finding was never removed from the file.
+    findings = run_lint([SRC], root=REPO)
+    current = {f.fingerprint() for f in findings}
+    for fp in load_baseline(BASELINE):
+        assert fp in current, f"stale baseline entry {fp}"
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_lint_fixture_fails_with_text(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    code = main(["lint", _fixture("seeded_r1"), "--format", "text"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "R1 [uncharged_loop]" in out
+    assert "2 finding(s)" in out
+
+
+def test_cli_lint_json_format(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    code = main(["lint", _fixture("seeded_r4"), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["count"] == 4
+    assert {f["rule"] for f in payload["findings"]} == {"R4"}
+    assert all("fingerprint" in f for f in payload["findings"])
+
+
+def test_cli_lint_src_passes_with_committed_baseline(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    assert main(["lint", "src"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_lint_write_baseline(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    target = str(tmp_path / "b.json")
+    assert main(["lint", _fixture("seeded_r3"), "--baseline", target,
+                 "--write-baseline"]) == 0
+    assert main(["lint", _fixture("seeded_r3"), "--baseline", target]) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out or "no findings" in out

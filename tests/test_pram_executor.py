@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.pram.executor import available_workers, chunk_indices, parallel_map_reduce
+from repro.pram.executor import (
+    available_workers,
+    chunk_indices,
+    parallel_map_reduce,
+    worker_state,
+)
 
 
 def _square_sum(block):
@@ -12,6 +17,19 @@ def _square_sum(block):
 
 def _square_sum_with_arg(block, offset):
     return int(((np.asarray(block) + offset) ** 2).sum())
+
+
+def _state_reader(block):
+    scale = worker_state()
+    return int(np.asarray(block).sum()) * scale
+
+
+def _nested_dispatch(block):
+    outer = worker_state()
+    # Re-entrant call with its own state must not clobber the outer one.
+    inner = parallel_map_reduce(_state_reader, 4, n_workers=1, state=10, initial=0)
+    assert worker_state() == outer
+    return inner + outer * int(np.asarray(block).size)
 
 
 class TestChunking:
@@ -75,3 +93,57 @@ class TestMapReduce:
         seq = parallel_map_reduce(_square_sum, 200, n_workers=1)
         par = parallel_map_reduce(_square_sum, 200, n_workers=2)
         assert seq == par
+
+    def test_empty_range_returns_initial(self):
+        # The documented contract: pass the monoid identity explicitly
+        # instead of relying on the falsiness of None.
+        assert parallel_map_reduce(_square_sum, 0, n_workers=1, initial=0) == 0
+        assert parallel_map_reduce(_square_sum, 0, n_workers=2, initial=7) == 7
+
+    def test_initial_is_leftmost_operand(self):
+        got = parallel_map_reduce(
+            lambda block: int(np.asarray(block).sum()),
+            10,
+            n_workers=1,
+            initial=1000,
+        )
+        assert got == 1000 + sum(range(10))
+
+
+class TestWorkerState:
+    def test_worker_state_outside_dispatch_raises(self):
+        with pytest.raises(RuntimeError):
+            worker_state()
+
+    def test_state_delivered_and_popped_sequential(self):
+        got = parallel_map_reduce(
+            _state_reader, 5, n_workers=1, state=3, initial=0
+        )
+        assert got == 3 * sum(range(5))
+        with pytest.raises(RuntimeError):
+            worker_state()  # the dispatch popped its state
+
+    def test_state_popped_when_worker_raises(self):
+        def boom(block):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            parallel_map_reduce(boom, 5, n_workers=1, state="s")
+        with pytest.raises(RuntimeError):
+            worker_state()
+
+    def test_nested_dispatch_restores_outer_state(self):
+        # Regression for the module-global _SHARED slot this stack replaced:
+        # a nested parallel_map_reduce used to clobber the outer state.
+        got = parallel_map_reduce(
+            _nested_dispatch, 6, n_workers=1, state=2, initial=0
+        )
+        blocks = chunk_indices(6, 4)
+        inner = 10 * sum(range(4))
+        assert got == sum(inner + 2 * b.size for b in blocks)
+
+    def test_state_delivered_to_forked_workers(self):
+        got = parallel_map_reduce(
+            _state_reader, 40, n_workers=2, state=5, initial=0
+        )
+        assert got == 5 * sum(range(40))

@@ -137,3 +137,66 @@ class TestReset:
         t._push_scope()
         with pytest.raises(RuntimeError):
             t.reset()
+
+    def test_reset_inside_open_task_rejected(self):
+        t = Tracker()
+        with pytest.raises(RuntimeError):
+            with t.parallel() as region:
+                with region.task():
+                    t.reset()  # the task scope is still on the stack
+
+
+class TestEdgeCases:
+    def test_phase_inside_task_attributes_and_folds(self):
+        # A named phase inside region.task() must attribute its charge AND
+        # still contribute to the region's par-combined cost.
+        t = Tracker()
+        with t.parallel() as region:
+            with region.task():
+                with t.phase("inner"):
+                    t.charge(Cost(10, 4))
+            with region.task():
+                t.charge(Cost(1, 1))
+        assert t.phases["inner"] == Cost(10, 4)
+        assert t.total == Cost(11, 4)
+
+    def test_deeply_nested_regions_par_compose(self):
+        # outer task 1 = inner region (3,2)|(3,1) = (6,2); outer task 2 =
+        # (4,4); outer region = (10, 4).
+        t = Tracker()
+        with t.parallel() as outer:
+            with outer.task():
+                with t.parallel() as inner:
+                    with inner.task():
+                        t.charge(Cost(3, 2))
+                    with inner.task():
+                        t.charge(Cost(3, 1))
+            with outer.task():
+                t.charge(Cost(4, 4))
+        assert t.total == Cost(10, 4)
+
+    def test_task_after_region_close_rejected(self):
+        t = Tracker()
+        with t.parallel() as region:
+            pass
+        with pytest.raises(RuntimeError):
+            with region.task():
+                pass
+
+    def test_add_task_cost_after_close_rejected(self):
+        t = Tracker()
+        with t.parallel() as region:
+            region.add_task_cost(Cost(1, 1))
+        with pytest.raises(RuntimeError):
+            region.add_task_cost(Cost(1, 1))
+
+    def test_exception_in_task_still_charges_and_closes(self):
+        t = Tracker()
+        with pytest.raises(ValueError):
+            with t.parallel() as region:
+                with region.task():
+                    t.charge(Cost(5, 5))
+                    raise ValueError("boom")
+        # The failing task's cost was folded before the exception escaped.
+        assert t.total == Cost(5, 5)
+        assert len(t._stack) == 1  # no leaked scopes
