@@ -56,6 +56,7 @@ class Measurement:
     repeats: int
     graph: str = ""
     search_work: float = 0.0  # work of the search phase only (no preprocessing)
+    peak_candidate: int = 0  # largest candidate set (gamma) seen in the search
 
     def simulated_time(self, p: int) -> float:
         return self.work / p + self.depth
@@ -68,11 +69,16 @@ def run_experiment(
     repeats: int = 3,
     graph_name: str = "",
     p: int = 72,
+    metrics: Optional[object] = None,
+    spans: Optional[object] = None,
 ) -> Measurement:
     """Measure one (graph, k, algorithm) cell.
 
     Wall time is averaged over ``repeats`` runs (first run also collects
     the instrumented cost; counts are asserted identical across repeats).
+    An optional ``metrics`` registry / ``spans`` recorder (repro.obs) is
+    attached to the first repetition's tracker, so `repro bench --json`
+    can embed the hot-loop metrics without perturbing the timed repeats.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(
@@ -85,8 +91,14 @@ def run_experiment(
     times: List[float] = []
     count: Optional[int] = None
     work = depth = t72 = t72_sched = search_work = 0.0
+    peak_candidate = 0
     for rep in range(repeats):
         tracker = Tracker()
+        if rep == 0:
+            if metrics is not None:
+                tracker.attach_metrics(metrics)
+            if spans is not None:
+                tracker.attach_spans(spans)
         start = time.perf_counter()
         result = fn(graph, k, tracker)
         times.append(time.perf_counter() - start)
@@ -94,6 +106,7 @@ def run_experiment(
             count = result.count
             work = tracker.work
             depth = tracker.depth
+            peak_candidate = int(getattr(result, "gamma", 0))
             search_phase = tracker.phases.get("search")
             search_work = search_phase.work if search_phase is not None else work
             t72 = tracker.total.time_on(p)
@@ -124,6 +137,7 @@ def run_experiment(
         repeats=repeats,
         graph=graph_name,
         search_work=search_work,
+        peak_candidate=peak_candidate,
     )
 
 

@@ -111,6 +111,7 @@ def to_csv(measurements: List[Measurement]) -> str:
         "t72",
         "t72_sched",
         "search_work",
+        "peak_candidate",
         "repeats",
     ]
     buf.write(",".join(cols) + "\n")

@@ -7,7 +7,11 @@
 * ``list <graph> -k K [--limit N]`` — list k-cliques;
 * ``spectrum <graph>`` — clique counts for every size;
 * ``datasets`` — show the built-in Table-2 stand-ins;
-* ``bench <dataset> -k K`` — one figure cell (3 algorithms) on a stand-in;
+* ``bench <dataset...> -k K [-k K2] [--json] [--compare BASELINE.json]``
+  — a (graphs × ks × algorithms) matrix, optionally emitting a
+  machine-readable ``BENCH_<timestamp>.json`` and gating against a
+  committed baseline (exit 3 on regression; see docs/OBSERVABILITY.md);
+* ``profile <graph> -k K`` — span tree + hot-loop metrics of one run;
 * ``selfcheck`` — fuzz every engine against each other + the oracle;
 * ``lint [paths]`` — the repo-aware static analysis (rules R1–R4).
 
@@ -107,25 +111,116 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    g = _load_graph(args.graph)
+    from .obs import (
+        MetricsRegistry,
+        SpanRecorder,
+        compare_records,
+        load_record,
+        make_record,
+        write_record,
+    )
+
+    ks = args.k or [4]
+    algos = [a.strip() for a in args.algos.split(",") if a.strip()]
+    want_json = args.json or args.out is not None or args.compare is not None
+    registry = MetricsRegistry() if want_json else None
+    recorder = SpanRecorder() if want_json else None
+
+    measurements = []
     rows = []
-    for algo in ("c3list", "kclist", "arbcount"):
-        m = run_experiment(g, args.k, algo, repeats=args.repeats, graph_name=args.graph)
-        rows.append(
-            [
-                algo,
-                m.count,
-                f"{m.wall_mean:.4f}s",
-                f"{m.work:.4g}",
-                f"{m.search_work:.4g}",
-                f"{m.t72:.4g}",
-            ]
-        )
+    for graph_spec in args.graph:
+        g = _load_graph(graph_spec)
+        for k in ks:
+            for algo in algos:
+                m = run_experiment(
+                    g,
+                    k,
+                    algo,
+                    repeats=args.repeats,
+                    graph_name=graph_spec,
+                    metrics=registry,
+                    spans=recorder,
+                )
+                measurements.append(m)
+                rows.append(
+                    [
+                        graph_spec,
+                        k,
+                        algo,
+                        m.count,
+                        f"{m.wall_mean:.4f}s",
+                        f"{m.work:.4g}",
+                        f"{m.search_work:.4g}",
+                        f"{m.t72:.4g}",
+                        m.peak_candidate,
+                    ]
+                )
     print(
         format_table(
-            ["algorithm", "count", "wall", "work", "search work", "T_72"], rows
+            [
+                "graph",
+                "k",
+                "algorithm",
+                "count",
+                "wall",
+                "work",
+                "search work",
+                "T_72",
+                "peak cand",
+            ],
+            rows,
         )
     )
+
+    exit_code = 0
+    if want_json:
+        record = make_record(
+            measurements,
+            metrics=registry.to_dict() if registry is not None else None,
+            spans=recorder.to_dict() if recorder is not None else None,
+            note=args.note,
+        )
+        path = write_record(record, path=args.out)
+        print(f"bench record written: {path}")
+        if args.compare is not None:
+            baseline = load_record(args.compare)
+            metrics = tuple(
+                m.strip() for m in args.metrics.split(",") if m.strip()
+            )
+            report = compare_records(
+                record, baseline, tolerance=args.tolerance, metrics=metrics
+            )
+            print(report.summary())
+            if not report.ok:
+                exit_code = 3
+    return exit_code
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import format_profile, profile_run
+
+    g = _load_graph(args.graph)
+    report = profile_run(g, args.k, variant=args.variant, eps=args.eps)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "variant": report.variant,
+                    "k": report.k,
+                    "count": report.count,
+                    "work": report.work,
+                    "depth": report.depth,
+                    "spans": report.spans,
+                    "metrics": report.metrics,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(format_profile(report))
     return 0
 
 
@@ -208,11 +303,61 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("datasets", help="show the built-in Table-2 stand-ins")
     p.set_defaults(func=_cmd_datasets)
 
-    p = sub.add_parser("bench", help="one figure cell: 3 algorithms on a graph")
+    p = sub.add_parser(
+        "bench",
+        help="benchmark a (graphs x ks x algorithms) matrix; optional JSON "
+        "record + regression gate",
+    )
+    p.add_argument("graph", nargs="+", help="graph file(s) or dataset name(s)")
+    p.add_argument(
+        "-k",
+        type=int,
+        action="append",
+        help="clique size; repeatable for a sweep (default: 4)",
+    )
+    p.add_argument("--repeats", type=int, default=1)
+    p.add_argument(
+        "--algos",
+        default="c3list,kclist,arbcount",
+        help="comma-separated algorithm names (see bench.ALGORITHMS)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="also write a machine-readable BENCH_<timestamp>.json record",
+    )
+    p.add_argument(
+        "--out", default=None, help="path for the JSON record (implies --json)"
+    )
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="compare against a baseline record; exit 3 on regression",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative growth per watched metric (default 0.25)",
+    )
+    p.add_argument(
+        "--metrics",
+        default="work,depth,wall_mean",
+        help="comma-separated metrics the comparison watches",
+    )
+    p.add_argument("--note", default="", help="free-form note stored in the record")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "profile", help="one observed run: span tree + hot-loop metrics"
+    )
     p.add_argument("graph")
     p.add_argument("-k", type=int, required=True)
-    p.add_argument("--repeats", type=int, default=1)
-    p.set_defaults(func=_cmd_bench)
+    p.add_argument("--variant", choices=VARIANTS, default="best-work")
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("selfcheck", help="cross-validate all engines on random graphs")
     p.add_argument("--trials", type=int, default=10)

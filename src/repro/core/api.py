@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 from ..graphs.csr import CSRGraph
 from ..pram.tracker import Tracker
 from .clique_listing import CliqueSearchResult
+from .existence import find_clique
 from .variants import VARIANTS, run_variant
 
 __all__ = ["count_cliques", "list_cliques", "has_clique", "VARIANTS"]
@@ -71,16 +72,39 @@ def list_cliques(
 
     The returned list is in lexicographic order regardless of variant or
     schedule, so two runs (or two engines) produce byte-identical output —
-    the property lint rule R3 guards inside the engines.
+    the property lint rule R3 guards inside the engines. The engines
+    canonicalize exactly once (inside :func:`run_variant`); re-sorting the
+    already-sorted listing here would pay a second O(C·k log C) pass on
+    the hot path, so this function returns the listing as-is and a test
+    asserts the canonical order instead.
     """
     tracker = tracker if tracker is not None else Tracker()
     result = run_variant(graph, k, variant, tracker, eps=eps, collect=True)
     assert result.cliques is not None
-    return sorted(result.cliques)
+    return result.cliques
 
 
 def has_clique(
-    graph: CSRGraph, k: int, variant: str = "best-work", eps: float = 0.5
+    graph: CSRGraph,
+    k: int,
+    variant: str = "best-work",
+    eps: float = 0.5,
+    tracker: Optional[Tracker] = None,
 ) -> bool:
-    """Whether the graph contains at least one k-clique."""
-    return count_cliques(graph, k, variant=variant, eps=eps).count > 0
+    """Whether the graph contains at least one k-clique.
+
+    Delegates to the early-exit existence search
+    (:func:`repro.core.existence.find_clique`), which abandons the search
+    at the first witness — *not* to a full count. On a graph that does
+    contain a k-clique this does a tiny fraction of the tracked work of
+    :func:`count_cliques` (the seed regression this replaces ran the full
+    count and threw the count away).
+
+    ``variant``/``eps`` are accepted for signature compatibility with the
+    other entry points; the existence search always uses the exact
+    degeneracy orientation, whose pruning is at least as strong as any
+    counting variant's, so the answer is variant-independent.
+    """
+    del variant, eps  # the early-exit search needs no variant choice
+    tracker = tracker if tracker is not None else Tracker()
+    return find_clique(graph, k, tracker=tracker) is not None

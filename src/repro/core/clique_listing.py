@@ -131,6 +131,15 @@ def count_cliques_on_dag(
     eligible = np.flatnonzero(sizes >= (k - 2))
     tracker.charge(Cost(m, log2p1(m) + 1))  # the eligibility filter (pack)
 
+    metrics = tracker.metrics
+    if metrics is not None and eligible.size:
+        # Candidate-set observability: the distribution of community sizes
+        # entering the search is the quantity the paper's bounds are
+        # stated in (each <= gamma <= (s+3-k)/2-ish by Lemma 3.2).
+        metrics.histogram("search.candidate_size").record_many(sizes[eligible])
+        metrics.gauge("search.peak_candidate").set_max(int(gamma))
+        metrics.gauge("search.eligible_edges").set(int(eligible.size))
+
     emit = None
     if collect:
         def emit(vertices: List[int]) -> None:
@@ -163,4 +172,19 @@ def count_cliques_on_dag(
                 region.add_task_cost(cost)
                 task_log.add(cost)
                 stats.merge(edge_stats)
+    with tracker.phase("reduce"):
+        # Folding the per-edge counts: a parallel sum over the eligible
+        # edges (work O(#eligible), depth O(log #eligible)).
+        tracker.charge(Cost(float(eligible.size), log2p1(eligible.size)))
+    if metrics is not None:
+        metrics.counter("search.probes").inc(stats.probes)
+        metrics.counter("search.intersections").inc(stats.intersections)
+        metrics.counter("search.calls").inc(stats.calls)
+        metrics.counter("search.emitted").inc(stats.emitted)
+        if stats.probes:
+            # Pruning effectiveness: fraction of relevant-pair probes that
+            # survived into an intersection (lower = the order prunes more).
+            metrics.gauge("search.probe_hit_rate").set(
+                stats.intersections / stats.probes
+            )
     return finish(total)

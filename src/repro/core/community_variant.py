@@ -111,6 +111,12 @@ def count_cliques_community_order(
     eligible = np.flatnonzero(sizes >= (k - 2))
     tracker.charge(Cost(m, log2p1(m) + 1))
 
+    metrics = tracker.metrics
+    if metrics is not None and eligible.size:
+        metrics.histogram("search.candidate_size").record_many(sizes[eligible])
+        metrics.gauge("search.peak_candidate").set_max(gamma)
+        metrics.gauge("search.eligible_edges").set(int(eligible.size))
+
     us, vs, codes = undirected_edge_ids(graph)
     edge_rank = edge_order.edge_rank
 
@@ -149,6 +155,13 @@ def count_cliques_community_order(
                 region.add_task_cost(task_cost)
                 task_log.add(task_cost)
                 stats.merge(res.stats)
+    with tracker.phase("reduce"):
+        tracker.charge(Cost(float(eligible.size), log2p1(eligible.size)))
+    if metrics is not None:
+        metrics.counter("search.probes").inc(stats.probes)
+        metrics.counter("search.intersections").inc(stats.intersections)
+        metrics.counter("search.calls").inc(stats.calls)
+        metrics.counter("search.emitted").inc(stats.emitted)
 
     return CliqueSearchResult(
         k=k,

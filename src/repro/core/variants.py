@@ -58,7 +58,29 @@ def run_variant(
     collect: bool = False,
     prune: bool = True,
 ) -> CliqueSearchResult:
-    """Count (or list) k-cliques with one of the Table-1 variants."""
+    """Count (or list) k-cliques with one of the Table-1 variants.
+
+    In listing mode (``collect=True``) the returned ``cliques`` are
+    canonical: each clique a sorted tuple of original vertex ids, the list
+    in lexicographic order. This is the *only* place the listing is
+    sorted — consumers (``list_cliques``, tests, diffing two engines) must
+    not pay for a second sort.
+    """
+    result = _dispatch(graph, k, variant, tracker, eps, collect, prune)
+    if collect and result.cliques is not None:
+        result.cliques.sort()
+    return result
+
+
+def _dispatch(
+    graph: CSRGraph,
+    k: int,
+    variant: str,
+    tracker: Tracker,
+    eps: float,
+    collect: bool,
+    prune: bool,
+) -> CliqueSearchResult:
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
     if k < 1:
@@ -190,12 +212,18 @@ def _run_hybrid(
     total = 0
     max_gamma = 0
     undirected = graph
+    metrics = tracker.metrics
+    cand_hist = (
+        metrics.histogram("search.candidate_size") if metrics is not None else None
+    )
     with tracker.phase("search"):
         with tracker.parallel() as region:
             for v in range(n):
                 out = dag.out_neighbors(v)
                 if out.size < k - 1:
                     continue
+                if cand_hist is not None:
+                    cand_hist.record(int(out.size))
                 # Induced subgraph on the out-neighborhood, in ORIGINAL ids.
                 members = np.sort(orig[out]).astype(np.int32)
                 sub, labels = undirected.subgraph(members)
@@ -218,6 +246,14 @@ def _run_hybrid(
                 region.add_task_cost(task_cost)
                 task_log.add(task_cost)
                 stats.merge(sub_stats)
+    with tracker.phase("reduce"):
+        tracker.charge(Cost(float(n), log2p1(n)))
+    if metrics is not None:
+        metrics.gauge("search.peak_candidate").set_max(max_gamma)
+        metrics.counter("search.probes").inc(stats.probes)
+        metrics.counter("search.intersections").inc(stats.intersections)
+        metrics.counter("search.calls").inc(stats.calls)
+        metrics.counter("search.emitted").inc(stats.emitted)
 
     return CliqueSearchResult(
         k=k,

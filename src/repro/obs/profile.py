@@ -1,0 +1,108 @@
+"""One-shot profiling of a clique search: spans + metrics in one report.
+
+``repro profile <graph> -k K`` is the human-facing end of the
+observability layer: it runs one variant with a fully armed tracker
+(span recorder + metrics registry attached), then renders
+
+* the span tree — wall seconds and tracked work/depth per phase
+  (orientation / communities / search / reduce), hierarchically;
+* the metrics table — candidate-set size distribution, pruning
+  hit-rates, executor chunk balance, whatever the engines recorded.
+
+This is the tool that makes a hot-loop regression *visible*: the seed's
+``has_clique``-counts-everything bug shows up here as a ``search`` span
+doing the full listing work for a query that needed one witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..graphs.csr import CSRGraph
+from ..pram.tracker import Tracker
+from .metrics import MetricsRegistry
+from .spans import SpanRecorder, format_span_tree
+
+__all__ = ["ProfileReport", "profile_run", "format_profile"]
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run produced."""
+
+    variant: str
+    k: int
+    count: int
+    work: float
+    depth: float
+    spans: Dict[str, Any]
+    metrics: Dict[str, Any]
+
+
+def profile_run(
+    graph: CSRGraph,
+    k: int,
+    variant: str = "best-work",
+    eps: float = 0.5,
+) -> ProfileReport:
+    """Run ``count_cliques`` once with full observability attached."""
+    from ..core.variants import run_variant
+
+    tracker = Tracker()
+    recorder = SpanRecorder()
+    registry = MetricsRegistry()
+    tracker.attach_spans(recorder)
+    tracker.attach_metrics(registry)
+    with recorder.span("run"):
+        result = run_variant(graph, k, variant, tracker, eps=eps)
+    return ProfileReport(
+        variant=variant,
+        k=k,
+        count=result.count,
+        work=tracker.work,
+        depth=tracker.depth,
+        spans=recorder.to_dict(),
+        metrics=registry.to_dict(),
+    )
+
+
+def _format_metric(name: str, data: Dict[str, Any]) -> str:
+    kind = data.get("type")
+    if kind == "counter":
+        return f"  {name:<32} {data['value']:.6g}"
+    if kind == "gauge":
+        return f"  {name:<32} {data['value']:.6g} (max {data['max']:.6g})"
+    return (
+        f"  {name:<32} n={data['count']} mean={data['mean']:.4g} "
+        f"min={data['min']:.4g} max={data['max']:.4g}"
+    )
+
+
+def format_profile(report: ProfileReport) -> str:
+    """Render a profile report as the ``repro profile`` text output."""
+    from .spans import Span
+
+    def rebuild(d: Dict[str, Any]) -> Span:
+        s = Span(d["name"])
+        s.wall = d["wall"]
+        s.work = d["work"]
+        s.depth = d["depth"]
+        s.count = d["count"]
+        s.children = [rebuild(c) for c in d.get("children", [])]
+        return s
+
+    lines = [
+        f"profile: variant={report.variant} k={report.k} "
+        f"count={report.count} work={report.work:.6g} depth={report.depth:.6g}",
+        "",
+        "spans:",
+        format_span_tree(rebuild(report.spans), indent=1),
+    ]
+    if report.metrics:
+        lines += ["", "metrics:"]
+        lines.extend(
+            _format_metric(name, data)
+            for name, data in sorted(report.metrics.items())
+        )
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Hierarchical phase spans: wall time + tracked work/depth per phase.
+
+A :class:`SpanRecorder` observes a :class:`~repro.pram.tracker.Tracker`:
+every ``tracker.phase(name)`` block opens a :class:`Span` that snapshots
+the tracker's cumulative work/depth and the wall clock on entry and exit,
+so each span carries the *delta* its phase cost — hierarchically, because
+phases nest (``orientation`` inside a variant run, ``search`` containing
+per-edge regions, …). Engines need no changes: attach a recorder with
+``tracker.attach_spans(recorder)`` and every instrumented phase of every
+engine reports for free.
+
+Code that has no tracker at hand (the bench harness around a whole
+experiment, the CLI around a whole command) can open spans directly with
+:meth:`SpanRecorder.span`.
+
+The recorder exports a deterministic JSON-able tree (:meth:`SpanRecorder.
+to_dict`) that ``repro profile`` renders and ``BENCH_*.json`` embeds.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "SpanRecorder", "format_span_tree"]
+
+
+class Span:
+    """One timed phase: wall seconds plus tracked work/depth deltas."""
+
+    __slots__ = (
+        "name",
+        "children",
+        "wall",
+        "work",
+        "depth",
+        "count",
+        "_t0",
+        "_work0",
+        "_depth0",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: List["Span"] = []
+        self.wall = 0.0
+        self.work = 0.0
+        self.depth = 0.0
+        self.count = 0  # times this span (same name, same parent) opened
+        self._t0 = 0.0
+        self._work0 = 0.0
+        self._depth0 = 0.0
+
+    def _open(self, work: float, depth: float) -> None:
+        self._t0 = time.perf_counter()
+        self._work0 = work
+        self._depth0 = depth
+        self.count += 1
+
+    def _close(self, work: float, depth: float) -> None:
+        self.wall += time.perf_counter() - self._t0
+        self.work += work - self._work0
+        self.depth += depth - self._depth0
+
+    def child(self, name: str) -> "Span":
+        """The child span named ``name``, created on first use.
+
+        Re-entering the same phase under the same parent accumulates into
+        one span (``count`` ticks up), which is what you want for phases
+        that run once per repetition or per subgraph.
+        """
+        for c in self.children:
+            if c.name == name:
+                return c
+        c = Span(name)
+        self.children.append(c)
+        return c
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {
+            "name": self.name,
+            "wall": self.wall,
+            "work": self.work,
+            "depth": self.depth,
+            "count": self.count,
+        }
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+
+class SpanRecorder:
+    """Builds the span tree; attachable to a Tracker or used standalone.
+
+    The tracker calls :meth:`on_phase_start` / :meth:`on_phase_end` from
+    inside ``Tracker.phase`` (duck-typed — the tracker never imports this
+    module). Standalone code uses the :meth:`span` context manager, which
+    nests correctly with tracker-driven spans because both share one
+    stack.
+    """
+
+    def __init__(self) -> None:
+        self.root = Span("total")
+        self.root._open(0.0, 0.0)
+        self._stack: List[Span] = [self.root]
+
+    # -- tracker observer protocol ----------------------------------------
+
+    def on_phase_start(self, name: str, work: float, depth: float) -> None:
+        span = self._stack[-1].child(name)
+        span._open(work, depth)
+        self._stack.append(span)
+
+    def on_phase_end(self, name: str, work: float, depth: float) -> None:
+        if len(self._stack) == 1:
+            raise RuntimeError(f"span {name!r} closed with no span open")
+        span = self._stack.pop()
+        if span.name != name:
+            raise RuntimeError(
+                f"span nesting violated: closing {name!r} but "
+                f"{span.name!r} is open"
+            )
+        span._close(work, depth)
+
+    # -- standalone use ----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a wall-clock-only span (no tracker feeding work/depth)."""
+        self.on_phase_start(name, 0.0, 0.0)
+        try:
+            yield self._stack[-1]
+        finally:
+            self.on_phase_end(name, 0.0, 0.0)
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def open_depth(self) -> int:
+        """Number of currently open spans below the root."""
+        return len(self._stack) - 1
+
+    def finish(self) -> Span:
+        """Close the root span (totals its wall time) and return it."""
+        if self.open_depth:
+            raise RuntimeError(
+                f"cannot finish with {self.open_depth} span(s) still open"
+            )
+        if self.root.wall == 0.0:
+            self.root._close(self.root._work0, self.root._depth0)
+        return self.root
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.finish().to_dict()
+
+
+def format_span_tree(span: Span, indent: int = 0) -> str:
+    """Render a span tree as indented text (the ``repro profile`` view)."""
+    pad = "  " * indent
+    parts = [f"{pad}{span.name:<24} wall={span.wall:.4f}s"]
+    if span.work or span.depth:
+        parts.append(f"work={span.work:.4g} depth={span.depth:.4g}")
+    if span.count > 1:
+        parts.append(f"×{span.count}")
+    lines = ["  ".join(parts)]
+    lines.extend(format_span_tree(c, indent + 1) for c in span.children)
+    return "\n".join(lines)

@@ -1,7 +1,7 @@
 """Vertex and edge orderings (§4): exact/approximate degeneracy orders and
 exact/approximate community-degeneracy edge orders."""
 
-from .approx_community import approx_community_order
+from .approx_community import approx_community_order, tri_incidence_csr
 from .arboricity import (
     ForestDecomposition,
     arboricity_estimate,
@@ -30,6 +30,7 @@ __all__ = [
     "community_degeneracy_order",
     "community_degeneracy",
     "approx_community_order",
+    "tri_incidence_csr",
     "candidate_sets_from_rank",
     "undirected_edge_ids",
     "undirected_triangles",

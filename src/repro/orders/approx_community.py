@@ -20,7 +20,34 @@ from ..pram.primitives import log2p1
 from ..pram.tracker import NULL_TRACKER, Tracker
 from .community_order import EdgeOrderResult, undirected_triangles
 
-__all__ = ["approx_community_order"]
+__all__ = ["approx_community_order", "tri_incidence_csr"]
+
+
+def tri_incidence_csr(tri_eids: np.ndarray, m: int) -> "tuple[np.ndarray, np.ndarray]":
+    """CSR map edge id -> incident triangle ids: ``(indptr, tri_of_edge)``.
+
+    A stable argsort of the column-major (eid, [col0 | col1 | col2]) stream
+    is the whole fill: within one edge's bucket the stable sort preserves
+    the column-major visit order, reproducing the classic per-column
+    counting fill exactly — in O(T log T) numpy instead of 3T Python
+    iterations (the seed's double loop was the hot spot of Algorithm 4's
+    setup on triangle-rich graphs).
+    """
+    t = tri_eids.shape[0]
+    live_count = (
+        np.bincount(tri_eids.ravel(), minlength=m).astype(np.int64)
+        if t
+        else np.zeros(m, dtype=np.int64)
+    )
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(live_count, out=indptr[1:])
+    if t:
+        flat_eids = tri_eids.T.ravel()
+        flat_tids = np.tile(np.arange(t, dtype=np.int64), 3)
+        tri_of_edge = flat_tids[np.argsort(flat_eids, kind="stable")]
+    else:
+        tri_of_edge = np.empty(0, dtype=np.int64)
+    return indptr, tri_of_edge
 
 
 def approx_community_order(
@@ -44,16 +71,7 @@ def approx_community_order(
         else np.zeros(m, dtype=np.int64)
     )
     # CSR edge -> incident triangles (for the removal updates).
-    indptr = np.zeros(m + 1, dtype=np.int64)
-    np.cumsum(live_count, out=indptr[1:])
-    tri_of_edge = np.empty(int(indptr[-1]), dtype=np.int64)
-    fill = indptr[:-1].copy()
-    for col in range(3):
-        es = tri_eids[:, col] if t else np.empty(0, dtype=np.int64)
-        for tid in range(t):
-            e = es[tid]
-            tri_of_edge[fill[e]] = tid
-            fill[e] += 1
+    indptr, tri_of_edge = tri_incidence_csr(tri_eids, m)
 
     edge_alive = np.ones(m, dtype=bool)
     tri_alive = np.ones(t, dtype=bool)

@@ -119,6 +119,18 @@ def parallel_map_reduce(
     if n == 0:
         return initial
     blocks = chunk_indices(n, workers * chunks_per_worker)
+    metrics = tracker.metrics if tracker is not None else None
+    if metrics is not None:
+        # Executor observability: chunk-size distribution and the spread
+        # between the largest and smallest chunk (a proxy for worker
+        # imbalance — contiguous splitting keeps it near 1, but callers
+        # that pre-filter to heavy indices can skew it badly).
+        sizes = [int(b.size) for b in blocks]
+        metrics.histogram("executor.chunk_size").record_many(sizes)
+        metrics.gauge("executor.dispatched_chunks").set(len(blocks))
+        metrics.gauge("executor.chunk_spread").set_max(
+            max(sizes) / min(sizes) if min(sizes) > 0 else float(max(sizes))
+        )
 
     if workers == 1 or len(blocks) == 1:
         if state is not None:

@@ -47,6 +47,8 @@ class ParallelRegion:
         self._tracker = tracker
         self._work = 0.0
         self._max_depth = 0.0
+        self._max_work = 0.0  # heaviest single task (imbalance metric)
+        self._num_tasks = 0
         self._open = True
         self._next_task_id = 0
         self._access_log: Optional[RegionLog] = (
@@ -69,6 +71,8 @@ class ParallelRegion:
             cost = self._tracker._pop_scope()
             self._work += cost.work
             self._max_depth = max(self._max_depth, cost.depth)
+            self._max_work = max(self._max_work, cost.work)
+            self._num_tasks += 1
             if acc is not None and self._access_log is not None:
                 # May raise CREWViolation — the offending task is this one.
                 sanitizer.close_task(acc, self._access_log, task_id)
@@ -79,6 +83,8 @@ class ParallelRegion:
             raise RuntimeError("parallel region already closed")
         self._work += cost.work
         self._max_depth = max(self._max_depth, cost.depth)
+        self._max_work = max(self._max_work, cost.work)
+        self._num_tasks += 1
 
     def _close(self) -> Cost:
         self._open = False
@@ -98,6 +104,29 @@ class Tracker:
         self._sanitizer: Optional[Sanitizer] = (
             Sanitizer() if self.sanitize else None
         )
+        # Observability attachments (repro.obs): a metrics registry that
+        # instrumented engines consult via ``tracker.metrics`` and a span
+        # recorder notified around every ``phase`` block. Both are duck
+        # typed so the PRAM layer never imports the obs package.
+        self.metrics: Any = None
+        self._span_observer: Any = None
+
+    # -- observability -----------------------------------------------------
+
+    def attach_metrics(self, registry: Any) -> Any:
+        """Attach a metrics registry; engines reach it as ``tracker.metrics``.
+
+        Returns the registry so callers can write
+        ``reg = tracker.attach_metrics(MetricsRegistry())``.
+        """
+        self.metrics = registry
+        return registry
+
+    def attach_spans(self, recorder: Any) -> Any:
+        """Attach a span recorder (``on_phase_start``/``on_phase_end`` duck
+        type); every subsequent :meth:`phase` block reports to it."""
+        self._span_observer = recorder
+        return recorder
 
     # -- charging ---------------------------------------------------------
 
@@ -146,6 +175,14 @@ class Tracker:
                 # Propagate the region's accesses to an enclosing task so
                 # outer-level conflicts survive nesting.
                 self._sanitizer.fold_region(region._access_log)
+            if self.metrics is not None and region._num_tasks:
+                mean = region._work / region._num_tasks
+                self.metrics.histogram("pram.region_tasks").record(
+                    region._num_tasks
+                )
+                self.metrics.gauge("pram.task_imbalance").set_max(
+                    region._max_work / mean if mean > 0 else 1.0
+                )
 
     # -- CREW sanitizing ---------------------------------------------------
 
@@ -177,15 +214,25 @@ class Tracker:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Attribute charges made inside the block to phase ``name``."""
+        """Attribute charges made inside the block to phase ``name``.
+
+        When a span recorder is attached (:meth:`attach_spans`) the block
+        also opens/closes a span carrying the wall time and the deltas of
+        the tracker's cumulative work/depth.
+        """
         if not self.enabled:
             yield
             return
+        observer = self._span_observer
         self._phase_stack.append(name)
+        if observer is not None:
+            observer.on_phase_start(name, self._stack[0][0], self._stack[0][1])
         try:
             yield
         finally:
             self._phase_stack.pop()
+            if observer is not None:
+                observer.on_phase_end(name, self._stack[0][0], self._stack[0][1])
 
     # -- results ----------------------------------------------------------
 

@@ -19,6 +19,7 @@ from .baselines.arbcount import arbcount_count
 from .baselines.bruteforce import brute_force_count
 from .baselines.chiba_nishizeki import chiba_nishizeki_count
 from .baselines.kclist import kclist_count
+from .core.existence import find_clique
 from .core.fast import fast_count_cliques
 from .core.motifs import count_cliques_triangle_growing
 from .core.parallel import count_cliques_parallel
@@ -74,6 +75,18 @@ def _engines() -> Dict[str, object]:
     return table
 
 
+def _is_clique(graph: CSRGraph, vertices, k: int) -> bool:
+    """Whether ``vertices`` really are ``k`` distinct pairwise-adjacent ids."""
+    vs = list(vertices)
+    if len(vs) != k or len(set(vs)) != k:
+        return False
+    return all(
+        graph.has_edge(int(vs[i]), int(vs[j]))
+        for i in range(k)
+        for j in range(i + 1, k)
+    )
+
+
 def self_check(
     trials: int = 10,
     max_vertices: int = 28,
@@ -91,7 +104,11 @@ def self_check(
     ks = k_values if k_values is not None else [4, 5, 6]
     rng = np.random.default_rng(seed)
     engines = _engines()
-    report = SelfCheckReport(trials=trials, engines=sorted(engines))
+    # find_clique is a decision engine, not a counter: it joins the check
+    # through the consistency assertion below rather than the counts table.
+    report = SelfCheckReport(
+        trials=trials, engines=sorted(engines) + ["existence:find-clique"]
+    )
 
     for trial in range(trials):
         n = int(rng.integers(6, max_vertices + 1))
@@ -114,7 +131,23 @@ def self_check(
                 report.failures.append(
                     f"trial={trial} n={n} m={graph.num_edges} k={k}: {counts}"
                 )
-            elif verbose:
+                continue
+            # The early-exit existence search must agree with the counters
+            # (this is the decision/counting consistency the has_clique
+            # fast path rests on), and any witness must be a real clique.
+            count = next(iter(distinct))
+            witness = find_clique(graph, k)
+            if (witness is not None) != (count > 0):
+                report.failures.append(
+                    f"trial={trial} n={n} m={graph.num_edges} k={k}: "
+                    f"find_clique says {witness!r} but count is {count}"
+                )
+            elif witness is not None and not _is_clique(graph, witness, k):
+                report.failures.append(
+                    f"trial={trial} n={n} m={graph.num_edges} k={k}: "
+                    f"find_clique witness {witness!r} is not a {k}-clique"
+                )
+            if verbose:
                 print(
                     f"trial {trial}: n={n} m={graph.num_edges} k={k} "
                     f"count={next(iter(distinct))} ({len(counts)} engines agree)"

@@ -1,0 +1,104 @@
+"""The has_clique fast path and the single-sort listing contract.
+
+Regression tests for two seed bugs: ``has_clique`` used to run a full
+count and throw the count away, and ``list_cliques`` used to re-sort a
+listing the engines already canonicalize.
+"""
+
+import numpy as np
+import pytest
+
+from repro import VARIANTS, count_cliques, has_clique, list_cliques
+from repro.core.existence import find_clique
+from repro.core.variants import run_variant
+from repro.graphs import complete_graph, gnm_random_graph
+from repro.graphs.generators import plant_cliques
+from repro.pram.tracker import Tracker
+
+
+class TestHasCliqueAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_count_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        g = gnm_random_graph(int(rng.integers(10, 30)), int(rng.integers(20, 90)), seed=seed)
+        if seed % 2:
+            g, _ = plant_cliques(g, [6], seed=seed)
+        for k in (3, 4, 5, 6, 7):
+            expected = count_cliques(g, k).count > 0
+            assert has_clique(g, k) == expected, (seed, k)
+            assert (find_clique(g, k) is not None) == expected, (seed, k)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variant_argument_still_accepted(self, variant):
+        g, _ = plant_cliques(gnm_random_graph(25, 80, seed=3), [6], seed=3)
+        for k in (4, 7):
+            expected = count_cliques(g, k, variant=variant).count > 0
+            assert has_clique(g, k, variant=variant) == expected
+
+    def test_trivial_sizes(self):
+        g = complete_graph(4)
+        assert has_clique(g, 1) and has_clique(g, 2) and has_clique(g, 4)
+        assert not has_clique(g, 5)
+
+
+class TestHasCliqueIsAFastPath:
+    def test_less_tracked_work_than_counting_on_planted_clique(self):
+        # The acceptance criterion: on an instance with many k-cliques the
+        # early-exit search must do measurably less tracked work than the
+        # full count (the seed bug made them identical).
+        g = gnm_random_graph(150, 700, seed=11)
+        g, _ = plant_cliques(g, [12, 12], seed=11)
+        k = 8
+        existence_tracker = Tracker()
+        counting_tracker = Tracker()
+        assert has_clique(g, k, tracker=existence_tracker)
+        result = count_cliques(g, k, tracker=counting_tracker)
+        assert result.count > 100  # the instance is clique-rich
+        assert existence_tracker.work < 0.9 * counting_tracker.work
+        # The witness search specifically must be far cheaper than the
+        # counting search (preprocessing is shared and dominates both).
+        count_search = counting_tracker.phases["search"].work
+        exist_total = existence_tracker.work
+        assert exist_total < counting_tracker.work
+        assert count_search > 0
+
+    def test_tracker_is_threaded_through(self):
+        g = complete_graph(6)
+        tracker = Tracker()
+        assert has_clique(g, 4, tracker=tracker)
+        assert tracker.work > 0
+
+    def test_early_exit_on_negative_instance_via_degeneracy_bound(self):
+        # A forest has degeneracy 1: the fast path answers k=4 without
+        # touching communities at all.
+        g = gnm_random_graph(50, 40, seed=0)
+        tracker = Tracker()
+        result = has_clique(g, 20, tracker=tracker)
+        assert result == (count_cliques(g, 20).count > 0)
+
+
+class TestListingCanonicalOrder:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_engines_return_canonical_order(self, variant):
+        # The single sort lives in run_variant: its output must already be
+        # lexicographically sorted tuples of sorted vertex ids, so
+        # list_cliques needn't (and doesn't) re-sort.
+        g, _ = plant_cliques(gnm_random_graph(30, 140, seed=7), [7], seed=7)
+        result = run_variant(g, 5, variant, Tracker(), collect=True)
+        assert result.cliques is not None
+        assert result.cliques == sorted(result.cliques), variant
+        assert all(list(c) == sorted(c) for c in result.cliques)
+
+    def test_list_cliques_does_not_copy_or_resort(self):
+        g = complete_graph(6)
+        out = list_cliques(g, 4)
+        assert out == sorted(out)
+        assert out == [tuple(c) for c in
+                       __import__("itertools").combinations(range(6), 4)]
+
+    def test_all_variants_agree_on_listing(self):
+        g, _ = plant_cliques(gnm_random_graph(22, 90, seed=5), [6], seed=5)
+        listings = {v: list_cliques(g, 4, variant=v) for v in VARIANTS}
+        first = listings[VARIANTS[0]]
+        for v, cl in listings.items():
+            assert cl == first, v

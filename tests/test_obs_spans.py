@@ -1,0 +1,122 @@
+"""Unit tests for the hierarchical phase spans (repro.obs.spans)."""
+
+import pytest
+
+from repro.obs import Span, SpanRecorder, format_span_tree
+from repro.pram.cost import Cost
+from repro.pram.tracker import Tracker
+
+
+class TestSpanNesting:
+    def test_nested_phases_build_a_tree(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner-a"):
+                pass
+            with rec.span("inner-b"):
+                pass
+        root = rec.finish()
+        assert [c.name for c in root.children] == ["outer"]
+        outer = root.children[0]
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+
+    def test_reentering_a_phase_accumulates(self):
+        rec = SpanRecorder()
+        for _ in range(3):
+            with rec.span("loop"):
+                pass
+        root = rec.finish()
+        assert len(root.children) == 1
+        assert root.children[0].count == 3
+
+    def test_mismatched_close_raises(self):
+        rec = SpanRecorder()
+        rec.on_phase_start("a", 0.0, 0.0)
+        with pytest.raises(RuntimeError, match="nesting"):
+            rec.on_phase_end("b", 0.0, 0.0)
+
+    def test_close_without_open_raises(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError, match="no span open"):
+            rec.on_phase_end("a", 0.0, 0.0)
+
+    def test_finish_with_open_span_raises(self):
+        rec = SpanRecorder()
+        rec.on_phase_start("a", 0.0, 0.0)
+        with pytest.raises(RuntimeError, match="still open"):
+            rec.finish()
+
+    def test_open_depth(self):
+        rec = SpanRecorder()
+        assert rec.open_depth == 0
+        with rec.span("a"):
+            with rec.span("b"):
+                assert rec.open_depth == 2
+        assert rec.open_depth == 0
+
+
+class TestTrackerIntegration:
+    def test_phase_feeds_work_depth_deltas(self):
+        tracker = Tracker()
+        rec = tracker.attach_spans(SpanRecorder())
+        tracker.charge(Cost(5, 5))  # outside any phase: not attributed
+        with tracker.phase("build"):
+            tracker.charge(Cost(10, 4))
+        with tracker.phase("search"):
+            tracker.charge(Cost(20, 6))
+        root = rec.finish()
+        by_name = {c.name: c for c in root.children}
+        assert by_name["build"].work == 10 and by_name["build"].depth == 4
+        assert by_name["search"].work == 20 and by_name["search"].depth == 6
+
+    def test_nested_tracker_phases_nest_spans(self):
+        tracker = Tracker()
+        rec = tracker.attach_spans(SpanRecorder())
+        with tracker.phase("outer"):
+            tracker.charge(Cost(1, 1))
+            with tracker.phase("inner"):
+                tracker.charge(Cost(2, 2))
+        root = rec.finish()
+        outer = root.children[0]
+        assert outer.name == "outer"
+        assert outer.work == 3  # includes the inner phase's charges
+        assert outer.children[0].name == "inner"
+        assert outer.children[0].work == 2
+
+    def test_disabled_tracker_records_nothing(self):
+        tracker = Tracker(enabled=False)
+        rec = tracker.attach_spans(SpanRecorder())
+        with tracker.phase("ghost"):
+            pass
+        assert rec.finish().children == []
+
+    def test_engine_spans_for_free(self):
+        # Attaching a recorder to the tracker of a normal count_cliques
+        # run yields the engine's phases without any engine change.
+        from repro import count_cliques
+        from repro.graphs import gnm_random_graph
+
+        tracker = Tracker()
+        rec = tracker.attach_spans(SpanRecorder())
+        count_cliques(gnm_random_graph(30, 120, seed=0), 4, tracker=tracker)
+        names = {c.name for c in rec.finish().children}
+        assert {"orientation", "communities", "search", "reduce"} <= names
+
+
+class TestExport:
+    def test_to_dict_schema(self):
+        rec = SpanRecorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        d = rec.to_dict()
+        assert d["name"] == "total"
+        child = d["children"][0]
+        assert set(child) >= {"name", "wall", "work", "depth", "count"}
+        assert child["children"][0]["name"] == "b"
+
+    def test_format_span_tree_indents(self):
+        root = Span("total")
+        root.children.append(Span("child"))
+        text = format_span_tree(root)
+        assert text.splitlines()[1].startswith("  child")
