@@ -18,8 +18,25 @@ Quickstart::
     print(result.count, result.cost, result.simulated_time(p=72))
 """
 
-from .core.api import VARIANTS, count_cliques, has_clique, list_cliques
+from .core.api import ENGINES, VARIANTS, count_cliques, has_clique, list_cliques
+from .core.prepared import (
+    PreparedGraph,
+    clear_prepared_cache,
+    prepare,
+    prepared_cache_info,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["count_cliques", "list_cliques", "has_clique", "VARIANTS", "__version__"]
+__all__ = [
+    "count_cliques",
+    "list_cliques",
+    "has_clique",
+    "VARIANTS",
+    "ENGINES",
+    "PreparedGraph",
+    "prepare",
+    "clear_prepared_cache",
+    "prepared_cache_info",
+    "__version__",
+]

@@ -18,6 +18,8 @@ from typing import Callable, Dict, List, Optional
 from ..baselines.arbcount import arbcount_count
 from ..baselines.chiba_nishizeki import chiba_nishizeki_count
 from ..baselines.kclist import kclist_count
+from ..core.api import count_cliques
+from ..core.prepared import PreparedGraph
 from ..core.variants import run_variant
 from ..graphs.csr import CSRGraph
 from ..pram.cost import Cost
@@ -27,16 +29,37 @@ from ..pram.tracker import Tracker
 __all__ = ["Measurement", "run_experiment", "ALGORITHMS", "sweep"]
 
 # The three contenders of Figures 7-9, by their names in the plots,
-# plus the remaining variants for the ablations.
+# plus the remaining variants for the ablations. Every callable takes an
+# optional shared preprocessing context; the baselines ignore it (their
+# preprocessing — ordering per call — is part of what the figures compare).
 ALGORITHMS: Dict[str, Callable] = {
-    "c3list": lambda g, k, tr: run_variant(g, k, "best-work", tr),
-    "c3list-approx": lambda g, k, tr: run_variant(g, k, "best-depth", tr),
-    "c3list-hybrid": lambda g, k, tr: run_variant(g, k, "hybrid", tr),
-    "c3list-cd": lambda g, k, tr: run_variant(g, k, "cd-best-work", tr),
-    "c3list-cd-approx": lambda g, k, tr: run_variant(g, k, "cd-best-depth", tr),
-    "kclist": lambda g, k, tr: kclist_count(g, k, tracker=tr),
-    "arbcount": lambda g, k, tr: arbcount_count(g, k, tracker=tr),
-    "chiba-nishizeki": lambda g, k, tr: chiba_nishizeki_count(g, k, tracker=tr),
+    "c3list": lambda g, k, tr, prepared=None: run_variant(
+        g, k, "best-work", tr, prepared=prepared
+    ),
+    "c3list-approx": lambda g, k, tr, prepared=None: run_variant(
+        g, k, "best-depth", tr, prepared=prepared
+    ),
+    "c3list-hybrid": lambda g, k, tr, prepared=None: run_variant(
+        g, k, "hybrid", tr, prepared=prepared
+    ),
+    "c3list-cd": lambda g, k, tr, prepared=None: run_variant(
+        g, k, "cd-best-work", tr, prepared=prepared
+    ),
+    "c3list-cd-approx": lambda g, k, tr, prepared=None: run_variant(
+        g, k, "cd-best-depth", tr, prepared=prepared
+    ),
+    "bitset": lambda g, k, tr, prepared=None: count_cliques(
+        g,
+        k,
+        tracker=tr,
+        engine="bitset",
+        prepared=prepared if prepared is not None else PreparedGraph(g),
+    ),
+    "kclist": lambda g, k, tr, prepared=None: kclist_count(g, k, tracker=tr),
+    "arbcount": lambda g, k, tr, prepared=None: arbcount_count(g, k, tracker=tr),
+    "chiba-nishizeki": lambda g, k, tr, prepared=None: chiba_nishizeki_count(
+        g, k, tracker=tr
+    ),
 }
 
 
@@ -71,6 +94,7 @@ def run_experiment(
     p: int = 72,
     metrics: Optional[object] = None,
     spans: Optional[object] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Measurement:
     """Measure one (graph, k, algorithm) cell.
 
@@ -79,6 +103,10 @@ def run_experiment(
     An optional ``metrics`` registry / ``spans`` recorder (repro.obs) is
     attached to the first repetition's tracker, so `repro bench --json`
     can embed the hot-loop metrics without perturbing the timed repeats.
+    Pass a shared ``prepared`` context to amortize preprocessing across
+    cells of a sweep (the first cell touching each piece is charged its
+    construction; later cells charge only the search). Baselines do not
+    consume it — they build their own orders by design.
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(
@@ -100,7 +128,7 @@ def run_experiment(
             if spans is not None:
                 tracker.attach_spans(spans)
         start = time.perf_counter()
-        result = fn(graph, k, tracker)
+        result = fn(graph, k, tracker, prepared=prepared)
         times.append(time.perf_counter() - start)
         if count is None:
             count = result.count
@@ -147,14 +175,24 @@ def sweep(
     algorithms: List[str],
     repeats: int = 3,
     graph_name: str = "",
+    prepared: Optional[PreparedGraph] = None,
 ) -> List[Measurement]:
-    """Run the Figures-7/8/9 sweep: each algorithm at each clique size."""
+    """Run the Figures-7/8/9 sweep: each algorithm at each clique size.
+
+    With a ``prepared`` context, preprocessing is charged once for the
+    whole multi-k sweep instead of once per cell.
+    """
     out: List[Measurement] = []
     for k in ks:
         for algo in algorithms:
             out.append(
                 run_experiment(
-                    graph, k, algo, repeats=repeats, graph_name=graph_name
+                    graph,
+                    k,
+                    algo,
+                    repeats=repeats,
+                    graph_name=graph_name,
+                    prepared=prepared,
                 )
             )
     return out

@@ -1,6 +1,6 @@
 """The paper's primary contribution: community-centric k-clique listing."""
 
-from .api import VARIANTS, count_cliques, has_clique, list_cliques
+from .api import ENGINES, VARIANTS, count_cliques, has_clique, list_cliques, resolve_engine
 from .clique_listing import CliqueSearchResult, count_cliques_on_dag
 from .community_variant import count_cliques_community_order
 from .densest import (
@@ -13,6 +13,13 @@ from .fast import fast_count_cliques
 from .motifs import count_cliques_triangle_growing
 from .parallel import count_cliques_parallel
 from .peeling import PeelResult, kclique_peel
+from .prepared import (
+    PreparedCache,
+    PreparedGraph,
+    clear_prepared_cache,
+    prepare,
+    prepared_cache_info,
+)
 from .sampling import CliqueEstimate, estimate_clique_count
 from .recursive import SearchStats, recursive_count
 from .variants import run_variant
@@ -22,6 +29,13 @@ __all__ = [
     "list_cliques",
     "has_clique",
     "VARIANTS",
+    "ENGINES",
+    "resolve_engine",
+    "PreparedGraph",
+    "PreparedCache",
+    "prepare",
+    "clear_prepared_cache",
+    "prepared_cache_info",
     "CliqueSearchResult",
     "count_cliques_on_dag",
     "count_cliques_community_order",

@@ -12,6 +12,25 @@ All entry points accept any of the six Table-1 variants (see
 the listed cliques (when requested), the tracked PRAM work/depth, the
 per-phase breakdown, and the per-edge task log used for simulated
 parallel scheduling.
+
+Two serving concerns live here and nowhere else:
+
+* **Shared preprocessing.** Every call resolves a
+  :class:`~repro.core.prepared.PreparedGraph` context — pass one
+  explicitly, or the façade consults the module-level LRU
+  (:func:`repro.core.prepared.prepare`), so repeated queries against the
+  same graph object build the order/orientation/communities exactly once.
+  The first query on a graph is charged like a cold run; later ones
+  charge only the search. Engine-level entry points (``run_variant``,
+  ``fast_count_cliques``, …) stay cold unless handed a context.
+* **Engine dispatch.** ``count_cliques`` routes to one of three
+  executors — ``reference`` (the instrumented Table-1 variants),
+  ``bitset`` (the packed-word kernel of :mod:`repro.core.fast`), or
+  ``process`` (real cores via :mod:`repro.core.parallel`). The default
+  ``auto`` picks ``process`` when ``workers > 1`` is requested, the
+  bitset kernel only where it actually wins in CPython (best-work
+  counting, k ≥ 4, candidate bitsets spanning more than one 64-bit
+  word), and the reference engine otherwise.
 """
 
 from __future__ import annotations
@@ -19,12 +38,84 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..graphs.csr import CSRGraph
+from ..pram.schedule import TaskLog
 from ..pram.tracker import Tracker
 from .clique_listing import CliqueSearchResult
 from .existence import find_clique
+from .fast import fast_count_cliques
+from .parallel import count_cliques_parallel
+from .prepared import PreparedGraph, prepare
+from .recursive import SearchStats
 from .variants import VARIANTS, run_variant
 
-__all__ = ["count_cliques", "list_cliques", "has_clique", "VARIANTS"]
+__all__ = [
+    "count_cliques",
+    "list_cliques",
+    "has_clique",
+    "resolve_engine",
+    "ENGINES",
+    "VARIANTS",
+]
+
+ENGINES = ("auto", "reference", "bitset", "process")
+
+
+def resolve_engine(
+    prepared: PreparedGraph,
+    k: int,
+    variant: str,
+    prune: bool,
+    workers: Optional[int],
+    tracker: Tracker,
+) -> str:
+    """The concrete engine ``auto`` dispatches to for this query.
+
+    ``process`` when the caller asked for real cores; ``bitset`` only in
+    the regime where the packed-word kernel beats the reference engine
+    under CPython — best-work counting with pruning, k ≥ 4, a non-empty
+    eligible set (γ ≥ k − 2), and candidate bitsets wider than one
+    64-bit word (single-word universes are dominated by per-call numpy
+    overhead); ``reference`` otherwise.
+    """
+    if workers is not None and workers > 1:
+        return "process"
+    if (
+        variant == "best-work"
+        and prune
+        and k >= 4
+        and prepared.gamma("degeneracy", tracker) >= k - 2
+        and prepared.bitset_words(tracker) > 1
+    ):
+        return "bitset"
+    return "reference"
+
+
+def _synthesize_result(
+    prepared: PreparedGraph, k: int, count: int, tracker: Tracker
+) -> CliqueSearchResult:
+    """Wrap a bare count from a non-reference engine in the result type.
+
+    Only the preprocessing is tracked for these engines (their search is
+    untracked by design), so ``cost``/``phases`` reflect the tracker as
+    charged and the search counters stay zero.
+    """
+    if k >= 3:
+        gamma = prepared.gamma("degeneracy", tracker)
+        max_out = prepared.dag("degeneracy", tracker).max_out_degree
+    else:
+        gamma = 0
+        max_out = 0
+    return CliqueSearchResult(
+        k=k,
+        count=count,
+        cost=tracker.total,
+        stats=SearchStats(),
+        task_log=TaskLog(),
+        phases=tracker.phases,
+        gamma=gamma,
+        max_out_degree=max_out,
+        cliques=None,
+    )
 
 
 def count_cliques(
@@ -34,6 +125,9 @@ def count_cliques(
     eps: float = 0.5,
     tracker: Optional[Tracker] = None,
     prune: bool = True,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> CliqueSearchResult:
     """Count all k-cliques of ``graph``.
 
@@ -46,7 +140,9 @@ def count_cliques(
     variant:
         One of the six Table-1 configurations (default: the best-work
         exact-degeneracy-order variant, the one used in the paper's
-        experimental evaluation).
+        experimental evaluation). Only the ``reference`` engine honors
+        non-default variants — counts are variant-independent, so the
+        other engines answer the same query.
     eps:
         Approximation parameter of the approximate orders.
     tracker:
@@ -54,10 +150,46 @@ def count_cliques(
         one is created by default.
     prune:
         Disable the relevant-pair criterion with ``False`` (ablation).
+    engine:
+        ``auto`` (default), ``reference``, ``bitset``, or ``process``.
+        ``bitset``/``process`` return only the count plus preprocessing
+        metadata (their search is untracked; ``stats`` are zero).
+    workers:
+        Worker-process count for the ``process`` engine; ``workers > 1``
+        makes ``auto`` pick it.
+    prepared:
+        A shared preprocessing context. Default: the façade's LRU cache,
+        so repeated queries on the same graph amortize preprocessing.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     tracker = tracker if tracker is not None else Tracker()
+    ctx = prepared if prepared is not None else prepare(
+        graph, eps=eps, tracker=tracker
+    )
+    if ctx.graph is not graph:
+        raise ValueError("prepared context was built for a different graph")
+
+    if engine == "auto":
+        # Resolving needs γ for k >= 4 only; trivial sizes go straight to
+        # the reference engine (its k < 4 paths are already direct).
+        engine = (
+            resolve_engine(ctx, k, variant, prune, workers, tracker)
+            if k >= 4
+            else ("process" if workers is not None and workers > 1 else "reference")
+        )
+
+    if engine == "bitset":
+        count = fast_count_cliques(graph, k, prepared=ctx, tracker=tracker)
+        return _synthesize_result(ctx, k, count, tracker)
+    if engine == "process":
+        count = count_cliques_parallel(
+            graph, k, n_workers=workers, tracker=tracker, prepared=ctx
+        )
+        return _synthesize_result(ctx, k, count, tracker)
     return run_variant(
-        graph, k, variant, tracker, eps=eps, collect=False, prune=prune
+        graph, k, variant, tracker, eps=eps, collect=False, prune=prune,
+        prepared=ctx,
     )
 
 
@@ -67,6 +199,7 @@ def list_cliques(
     variant: str = "best-work",
     eps: float = 0.5,
     tracker: Optional[Tracker] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> List[Tuple[int, ...]]:
     """List all k-cliques as sorted vertex tuples (each exactly once).
 
@@ -76,10 +209,16 @@ def list_cliques(
     canonicalize exactly once (inside :func:`run_variant`); re-sorting the
     already-sorted listing here would pay a second O(C·k log C) pass on
     the hot path, so this function returns the listing as-is and a test
-    asserts the canonical order instead.
+    asserts the canonical order instead. Listing always runs on the
+    reference engine (the others only count).
     """
     tracker = tracker if tracker is not None else Tracker()
-    result = run_variant(graph, k, variant, tracker, eps=eps, collect=True)
+    ctx = prepared if prepared is not None else prepare(
+        graph, eps=eps, tracker=tracker
+    )
+    result = run_variant(
+        graph, k, variant, tracker, eps=eps, collect=True, prepared=ctx
+    )
     assert result.cliques is not None
     return result.cliques
 
@@ -90,6 +229,7 @@ def has_clique(
     variant: str = "best-work",
     eps: float = 0.5,
     tracker: Optional[Tracker] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> bool:
     """Whether the graph contains at least one k-clique.
 
@@ -105,6 +245,9 @@ def has_clique(
     degeneracy orientation, whose pruning is at least as strong as any
     counting variant's, so the answer is variant-independent.
     """
-    del variant, eps  # the early-exit search needs no variant choice
+    del variant  # the early-exit search needs no variant choice
     tracker = tracker if tracker is not None else Tracker()
-    return find_clique(graph, k, tracker=tracker) is not None
+    ctx = prepared if prepared is not None else prepare(
+        graph, eps=eps, tracker=tracker
+    )
+    return find_clique(graph, k, tracker=tracker, prepared=ctx) is not None

@@ -14,7 +14,7 @@ counting and peeling algorithms").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -24,20 +24,29 @@ from ..graphs.kernels import kcore_kernel
 from ..orders.degeneracy import degeneracy_order
 from ..pram.tracker import NULL_TRACKER, Tracker
 from .clique_listing import count_cliques_on_dag
+from .prepared import PreparedGraph
 
 __all__ = ["per_vertex_clique_counts", "DensestResult", "kclique_densest_subgraph"]
 
 
 def per_vertex_clique_counts(
-    graph: CSRGraph, k: int, tracker: Tracker = NULL_TRACKER
+    graph: CSRGraph,
+    k: int,
+    tracker: Tracker = NULL_TRACKER,
+    prepared: Optional[PreparedGraph] = None,
 ) -> np.ndarray:
     """``counts[v]`` = number of k-cliques containing vertex ``v``.
 
     Computed from the listing engine (each clique contributes to k
-    entries). Sum of the array equals ``k × (#k-cliques)``.
+    entries). Sum of the array equals ``k × (#k-cliques)``. ``prepared``
+    reuses a shared orientation/communities, which matters when this is
+    called per ``k`` on the same graph (the densest-subgraph peel builds
+    fresh subgraphs per iteration, so it cannot reuse one).
     """
     if k < 1:
         raise ValueError(f"clique size must be >= 1, got {k}")
+    if prepared is not None and prepared.graph is not graph:
+        raise ValueError("prepared context was built for a different graph")
     n = graph.num_vertices
     counts = np.zeros(n, dtype=np.int64)
     if n == 0:
@@ -46,10 +55,15 @@ def per_vertex_clique_counts(
         return np.ones(n, dtype=np.int64)
     if k == 2:
         return graph.degrees.astype(np.int64)
-    order = degeneracy_order(graph, tracker=tracker).order
-    dag = orient_by_order(graph, order, tracker=tracker)
+    if prepared is not None:
+        dag = prepared.dag("degeneracy", tracker)
+        comms = prepared.communities("degeneracy", tracker)
+    else:
+        order = degeneracy_order(graph, tracker=tracker).order
+        dag = orient_by_order(graph, order, tracker=tracker)
+        comms = None
     sub_tracker = Tracker() if tracker.enabled else NULL_TRACKER
-    res = count_cliques_on_dag(dag, k, sub_tracker, collect=True)
+    res = count_cliques_on_dag(dag, k, sub_tracker, comms=comms, collect=True)
     if tracker.enabled:
         tracker.charge(sub_tracker.total)
     for clique in res.cliques or []:

@@ -25,8 +25,14 @@ from ..orders.degeneracy import degeneracy_order
 from ..pram.tracker import NULL_TRACKER, Tracker
 from ..triangles.communities import EdgeCommunities, build_communities
 from .clique_listing import count_cliques_on_dag
+from .prepared import PreparedGraph
 
 __all__ = ["find_clique", "max_clique_size", "clique_spectrum"]
+
+
+def _check_prepared(graph: CSRGraph, prepared: Optional[PreparedGraph]) -> None:
+    if prepared is not None and prepared.graph is not graph:
+        raise ValueError("prepared context was built for a different graph")
 
 
 class _Found(Exception):
@@ -107,20 +113,34 @@ def _witness_on_dag(
 
 
 def find_clique(
-    graph: CSRGraph, k: int, tracker: Tracker = NULL_TRACKER
+    graph: CSRGraph,
+    k: int,
+    tracker: Tracker = NULL_TRACKER,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Optional[Tuple[int, ...]]:
     """Return one k-clique (sorted original vertex ids) or ``None``.
 
     Uses the exact degeneracy orientation and exits at the first witness.
+    ``prepared`` shares the orientation/communities with other queries;
+    the degeneracy fast path (``k > s + 1`` → ``None`` without building
+    communities) is preserved either way.
     """
     if k < 1:
         raise ValueError(f"clique size must be >= 1, got {k}")
+    _check_prepared(graph, prepared)
     n = graph.num_vertices
     if k == 1:
         return (0,) if n else None
     if k == 2:
         us, vs = graph.edge_array()
         return (int(us[0]), int(vs[0])) if us.size else None
+
+    if prepared is not None:
+        if k > prepared.degeneracy(tracker) + 1:
+            return None  # an s-degenerate graph has no (s+2)-clique (§1.1)
+        dag = prepared.dag("degeneracy", tracker)
+        comms = prepared.communities("degeneracy", tracker)
+        return _witness_on_dag(dag, comms, k)
 
     res = degeneracy_order(graph, tracker=tracker)
     if k > res.degeneracy + 1:
@@ -130,22 +150,34 @@ def find_clique(
     return _witness_on_dag(dag, comms, k)
 
 
-def max_clique_size(graph: CSRGraph, tracker: Tracker = NULL_TRACKER) -> int:
+def max_clique_size(
+    graph: CSRGraph,
+    tracker: Tracker = NULL_TRACKER,
+    prepared: Optional[PreparedGraph] = None,
+) -> int:
     """The clique number ω, via early-exit searches from s+1 downward.
 
     An s-degenerate graph has ω ≤ s + 1, so at most s − 1 existence
     queries are needed; the orientation and edge communities are built
-    once and shared by every query (they depend only on the graph).
+    once and shared by every query (they depend only on the graph) — or
+    reused from ``prepared`` across *calls* as well.
     """
+    _check_prepared(graph, prepared)
     n = graph.num_vertices
     if n == 0:
         return 0
     if graph.num_edges == 0:
         return 1
-    res = degeneracy_order(graph, tracker=tracker)
-    dag = orient_by_order(graph, res.order, tracker=tracker)
-    comms = build_communities(dag, tracker=tracker)
-    for k in range(res.degeneracy + 1, 2, -1):
+    if prepared is not None:
+        s = prepared.degeneracy(tracker)
+        dag = prepared.dag("degeneracy", tracker)
+        comms = prepared.communities("degeneracy", tracker)
+    else:
+        res = degeneracy_order(graph, tracker=tracker)
+        s = res.degeneracy
+        dag = orient_by_order(graph, res.order, tracker=tracker)
+        comms = build_communities(dag, tracker=tracker)
+    for k in range(s + 1, 2, -1):
         if _witness_on_dag(dag, comms, k) is not None:
             return k
     return 2  # there is at least one edge
@@ -155,22 +187,33 @@ def clique_spectrum(
     graph: CSRGraph,
     k_max: Optional[int] = None,
     tracker: Tracker = NULL_TRACKER,
+    prepared: Optional[PreparedGraph] = None,
 ) -> Dict[int, int]:
     """Counts of k-cliques for every k from 1 to ``k_max`` (default ω bound).
 
     Orientation and communities are built once and shared across all k,
     which is how a user profiles a graph's "clique spectrum" (the intro's
     motif-statistics use case) without paying preprocessing per size.
+    With ``prepared`` they are shared across *calls* too.
     """
+    _check_prepared(graph, prepared)
     n = graph.num_vertices
-    res = degeneracy_order(graph, tracker=tracker)
-    bound = res.degeneracy + 1 if graph.num_edges else 1
+    if prepared is not None:
+        s = prepared.degeneracy(tracker)
+    else:
+        res = degeneracy_order(graph, tracker=tracker)
+        s = res.degeneracy
+    bound = s + 1 if graph.num_edges else 1
     top = bound if k_max is None else min(k_max, bound)
     spectrum: Dict[int, int] = {}
     if n == 0:
         return spectrum
-    dag = orient_by_order(graph, res.order, tracker=tracker)
-    comms = build_communities(dag, tracker=tracker)
+    if prepared is not None:
+        dag = prepared.dag("degeneracy", tracker)
+        comms = prepared.communities("degeneracy", tracker)
+    else:
+        dag = orient_by_order(graph, res.order, tracker=tracker)
+        comms = build_communities(dag, tracker=tracker)
     for k in range(1, max(top, 1) + 1):
         sub_tracker = Tracker() if tracker.enabled else NULL_TRACKER
         result = count_cliques_on_dag(dag, k, sub_tracker, comms=comms)

@@ -23,8 +23,9 @@ from ..graphs.csr import CSRGraph
 from ..graphs.digraph import OrientedDAG, orient_by_order
 from ..orders.degeneracy import degeneracy_order
 from ..pram.executor import parallel_map_reduce, worker_state
-from ..pram.tracker import Tracker
+from ..pram.tracker import NULL_TRACKER, Tracker
 from ..triangles.communities import EdgeCommunities, build_communities
+from .prepared import PreparedGraph
 from .recursive import SearchStats, recursive_count
 
 __all__ = ["count_cliques_parallel"]
@@ -51,6 +52,7 @@ def count_cliques_parallel(
     k: int,
     n_workers: Optional[int] = None,
     tracker: Optional[Tracker] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> int:
     """Count k-cliques with the outer edge loop on real processes.
 
@@ -58,6 +60,8 @@ def count_cliques_parallel(
     require IPC aggregation; use the sequential API for instrumentation).
     A ``tracker`` built with ``sanitize=True`` runs the fan-out through
     the CREW-checked sequential path, proving the dispatch race-free.
+    ``prepared`` reuses the shared DAG/communities — the read-only state
+    forked (or pickled) to workers is identical either way.
     """
     if k < 1:
         raise ValueError(f"clique size must be >= 1, got {k}")
@@ -67,9 +71,16 @@ def count_cliques_parallel(
     if k == 2:
         return graph.num_edges
 
-    order = degeneracy_order(graph).order
-    dag = orient_by_order(graph, order)
-    comms = build_communities(dag)
+    if prepared is not None:
+        if prepared.graph is not graph:
+            raise ValueError("prepared context was built for a different graph")
+        prep_tracker = tracker if tracker is not None else NULL_TRACKER
+        dag = prepared.dag("degeneracy", prep_tracker)
+        comms = prepared.communities("degeneracy", prep_tracker)
+    else:
+        order = degeneracy_order(graph).order
+        dag = orient_by_order(graph, order)
+        comms = build_communities(dag)
     if k == 3:
         return comms.num_triangles
 

@@ -35,9 +35,15 @@ from ..pram.schedule import TaskLog
 from ..pram.tracker import Tracker
 from .clique_listing import CliqueSearchResult, count_cliques_on_dag
 from .community_variant import count_cliques_community_order
+from .prepared import PreparedGraph
 from .recursive import SearchStats
 
 __all__ = ["VARIANTS", "run_variant"]
+
+# Variants whose order construction consumes the approximation parameter
+# (a prepared context is keyed per eps, so a mismatch must be an error,
+# not a silently-wrong reuse).
+_EPS_VARIANTS = ("best-depth", "hybrid", "cd-best-depth", "cd-hybrid")
 
 VARIANTS = (
     "best-work",
@@ -57,6 +63,7 @@ def run_variant(
     eps: float = 0.5,
     collect: bool = False,
     prune: bool = True,
+    prepared: Optional[PreparedGraph] = None,
 ) -> CliqueSearchResult:
     """Count (or list) k-cliques with one of the Table-1 variants.
 
@@ -65,11 +72,32 @@ def run_variant(
     in lexicographic order. This is the *only* place the listing is
     sorted — consumers (``list_cliques``, tests, diffing two engines) must
     not pay for a second sort.
+
+    ``prepared`` shares the query-independent preprocessing (order,
+    orientation, communities, edge orders) across calls: the first query
+    on a context is charged exactly like a cold run, later ones charge
+    only the search. Without it the call is cold (builds everything).
     """
-    result = _dispatch(graph, k, variant, tracker, eps, collect, prune)
+    result = _dispatch(graph, k, variant, tracker, eps, collect, prune, prepared)
     if collect and result.cliques is not None:
         result.cliques.sort()
     return result
+
+
+def _exact_dag(
+    graph: CSRGraph, tracker: Tracker, prepared: Optional[PreparedGraph]
+):
+    """Exact-degeneracy (dag, comms) — comms is None on the cold path
+    (count_cliques_on_dag builds them so they are charged per engine)."""
+    if prepared is not None:
+        return (
+            prepared.dag("degeneracy", tracker),
+            prepared.communities("degeneracy", tracker),
+        )
+    with tracker.phase("orientation"):
+        order = degeneracy_order(graph, tracker=tracker).order
+        dag = orient_by_order(graph, order, tracker=tracker)
+    return dag, None
 
 
 def _dispatch(
@@ -80,57 +108,75 @@ def _dispatch(
     eps: float,
     collect: bool,
     prune: bool,
+    prepared: Optional[PreparedGraph],
 ) -> CliqueSearchResult:
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
     if k < 1:
         raise ValueError(f"clique size must be >= 1, got {k}")
+    if prepared is not None:
+        if prepared.graph is not graph:
+            raise ValueError("prepared context was built for a different graph")
+        if variant in _EPS_VARIANTS and prepared.eps != eps:
+            raise ValueError(
+                f"prepared context has eps={prepared.eps}, query asked for "
+                f"eps={eps}; prepare a context per eps"
+            )
 
     if variant == "best-work":
-        with tracker.phase("orientation"):
-            order = degeneracy_order(graph, tracker=tracker).order
-            dag = orient_by_order(graph, order, tracker=tracker)
+        dag, comms = _exact_dag(graph, tracker, prepared)
         return count_cliques_on_dag(
-            dag, k, tracker, collect=collect, prune=prune
+            dag, k, tracker, comms=comms, collect=collect, prune=prune
         )
 
     if variant == "best-depth":
-        with tracker.phase("orientation"):
-            order = approx_degeneracy_order(graph, eps=eps, tracker=tracker).order
-            dag = orient_by_order(graph, order, tracker=tracker)
+        if prepared is not None:
+            dag = prepared.dag("approx", tracker)
+            comms = prepared.communities("approx", tracker)
+        else:
+            with tracker.phase("orientation"):
+                order = approx_degeneracy_order(
+                    graph, eps=eps, tracker=tracker
+                ).order
+                dag = orient_by_order(graph, order, tracker=tracker)
+            comms = None
         return count_cliques_on_dag(
-            dag, k, tracker, collect=collect, prune=prune
+            dag, k, tracker, comms=comms, collect=collect, prune=prune
         )
 
     if variant == "hybrid":
-        return _run_hybrid(graph, k, tracker, eps=eps, collect=collect, prune=prune)
+        return _run_hybrid(
+            graph, k, tracker, eps=eps, collect=collect, prune=prune,
+            prepared=prepared,
+        )
 
     # Community-degeneracy variants need k >= 4; fall back to the plain
     # algorithm for trivial sizes (the edge order plays no role there).
     if k < 4:
-        with tracker.phase("orientation"):
-            order = degeneracy_order(graph, tracker=tracker).order
-            dag = orient_by_order(graph, order, tracker=tracker)
-        return count_cliques_on_dag(dag, k, tracker, collect=collect)
+        dag, comms = _exact_dag(graph, tracker, prepared)
+        return count_cliques_on_dag(dag, k, tracker, comms=comms, collect=collect)
 
     if variant == "cd-best-work":
-        with tracker.phase("edge-order"):
-            edge_order = community_degeneracy_order(graph, tracker=tracker)
+        if prepared is not None:
+            edge_order = prepared.edge_order("exact", tracker)
+        else:
+            with tracker.phase("edge-order"):
+                edge_order = community_degeneracy_order(graph, tracker=tracker)
         return count_cliques_community_order(
             graph, k, edge_order, tracker, collect=collect
         )
 
-    if variant == "cd-best-depth":
+    if prepared is not None:
+        edge_order = prepared.edge_order("approx", tracker)
+    else:
         with tracker.phase("edge-order"):
             edge_order = approx_community_order(graph, eps=eps, tracker=tracker)
+    if variant == "cd-best-depth":
         return count_cliques_community_order(
             graph, k, edge_order, tracker, collect=collect
         )
-
     # cd-hybrid (§4.3): approximate edge order outside, exact degeneracy
     # orientation inside each candidate subgraph.
-    with tracker.phase("edge-order"):
-        edge_order = approx_community_order(graph, eps=eps, tracker=tracker)
     return count_cliques_community_order(
         graph, k, edge_order, tracker, collect=collect, inner_order="degeneracy"
     )
@@ -187,12 +233,16 @@ def _run_hybrid(
     eps: float,
     collect: bool,
     prune: bool = True,
+    prepared: Optional[PreparedGraph] = None,
 ) -> CliqueSearchResult:
     """§4.2: (2.5)-approximate order outside, exact order per N⁺(v)."""
     n = graph.num_vertices
-    with tracker.phase("orientation"):
-        order = approx_degeneracy_order(graph, eps=eps, tracker=tracker).order
-        dag = orient_by_order(graph, order, tracker=tracker)
+    if prepared is not None:
+        dag = prepared.dag("approx", tracker)
+    else:
+        with tracker.phase("orientation"):
+            order = approx_degeneracy_order(graph, eps=eps, tracker=tracker).order
+            dag = orient_by_order(graph, order, tracker=tracker)
 
     stats = SearchStats()
     task_log = TaskLog()

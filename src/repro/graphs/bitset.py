@@ -114,7 +114,7 @@ class BitMatrix:
             local = np.searchsorted(members, nbrs)
             mat.rows[i] = pack_indices(local, u)
         mat._fill_in_rows()
-        return mat
+        return mat.freeze()
 
     @classmethod
     def from_graph(cls, graph: CSRGraph) -> "BitMatrix":
@@ -123,8 +123,22 @@ class BitMatrix:
         mat = cls(n)
         for v in range(n):
             mat.rows[v] = pack_indices(graph.neighbors(v).astype(np.int64), n)
-        mat.rows_in = mat.rows  # symmetric
-        return mat
+        # The matrix is symmetric, but rows_in must NOT alias rows: a later
+        # in-place row update through either view would silently corrupt
+        # the other (and freeze() would be defeated by the shared buffer).
+        mat.rows_in = mat.rows.copy()
+        return mat.freeze()
+
+    def freeze(self) -> "BitMatrix":
+        """Make both adjacency views immutable; returns self.
+
+        Kernels share one matrix across many masks/queries — an accidental
+        in-place row update would corrupt every later query, so the
+        constructors freeze the finished arrays.
+        """
+        self.rows.setflags(write=False)
+        self.rows_in.setflags(write=False)
+        return self
 
     def and_row(self, row: int, mask: np.ndarray) -> np.ndarray:
         """``adjacency[row] & mask`` as a fresh word array."""

@@ -30,12 +30,17 @@ __all__ = ["EdgeCommunities", "build_communities"]
 class EdgeCommunities:
     """Sorted community arrays for every directed edge of a DAG."""
 
-    __slots__ = ("dag", "indptr", "members")
+    __slots__ = ("dag", "indptr", "members", "_sizes")
 
     def __init__(self, dag: OrientedDAG, indptr: np.ndarray, members: np.ndarray):
         self.dag = dag
         self.indptr = indptr
         self.members = members
+        # |C(e)| is read in engine hot loops (eligibility filters, metrics)
+        # on every query; materialize it once, read-only, instead of
+        # allocating a fresh np.diff per property access.
+        self._sizes = np.diff(indptr)
+        self._sizes.setflags(write=False)
 
     @property
     def num_triangles(self) -> int:
@@ -44,8 +49,8 @@ class EdgeCommunities:
 
     @property
     def sizes(self) -> np.ndarray:
-        """|C(e)| for every directed edge id."""
-        return np.diff(self.indptr)
+        """|C(e)| for every directed edge id (cached, read-only)."""
+        return self._sizes
 
     @property
     def max_size(self) -> int:

@@ -19,10 +19,12 @@ from .baselines.arbcount import arbcount_count
 from .baselines.bruteforce import brute_force_count
 from .baselines.chiba_nishizeki import chiba_nishizeki_count
 from .baselines.kclist import kclist_count
+from .core.api import count_cliques
 from .core.existence import find_clique
 from .core.fast import fast_count_cliques
 from .core.motifs import count_cliques_triangle_growing
 from .core.parallel import count_cliques_parallel
+from .core.prepared import PreparedGraph
 from .core.variants import VARIANTS, run_variant
 from .graphs.csr import CSRGraph
 from .graphs.generators import gnm_random_graph, plant_cliques
@@ -53,11 +55,29 @@ class SelfCheckReport:
         return "\n".join(lines)
 
 
+def _warm_variant_count(g: CSRGraph, k: int, v: str) -> int:
+    """Second query on a shared context (every piece a cache hit)."""
+    ctx = PreparedGraph(g)
+    run_variant(g, k, v, Tracker(), prepared=ctx)
+    return run_variant(g, k, v, Tracker(), prepared=ctx).count
+
+
 def _engines() -> Dict[str, object]:
     table: Dict[str, object] = {
         f"variant:{v}": (lambda g, k, v=v: run_variant(g, k, v, Tracker()).count)
         for v in VARIANTS
     }
+    # Warm twins: the same variants served from a shared PreparedGraph,
+    # answering from cached order/orientation/communities — a cache bug
+    # (stale or cross-wired piece) shows up as a count mismatch here.
+    table.update(
+        {
+            f"variant:{v}:warm": (
+                lambda g, k, v=v: _warm_variant_count(g, k, v)
+            )
+            for v in VARIANTS
+        }
+    )
     table.update(
         {
             "kclist": lambda g, k: kclist_count(g, k).count,
@@ -67,9 +87,15 @@ def _engines() -> Dict[str, object]:
                 g, k
             ).count,
             "bitset-kernel": fast_count_cliques,
+            "bitset-kernel:warm": lambda g, k: fast_count_cliques(
+                g, k, prepared=PreparedGraph(g)
+            ),
             "process-parallel": lambda g, k: count_cliques_parallel(
                 g, k, n_workers=1
             ),
+            # The façade with engine dispatch left on auto (whatever the
+            # heuristic picks must agree with everything else).
+            "engine:auto": lambda g, k: count_cliques(g, k).count,
         }
     )
     return table

@@ -7,6 +7,7 @@ import itertools
 import numpy as np
 import pytest
 
+from repro.core.prepared import clear_prepared_cache
 from repro.graphs import (
     CSRGraph,
     clique_chain,
@@ -15,6 +16,19 @@ from repro.graphs import (
     from_edges,
     gnm_random_graph,
 )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_prepared_cache():
+    """Isolate tests from the façade's module-level preprocessing cache.
+
+    Session-scoped graph fixtures are shared across tests, so without
+    this a test's tracked work would depend on whether an earlier test
+    already warmed the cache for the same graph object.
+    """
+    clear_prepared_cache()
+    yield
+    clear_prepared_cache()
 
 
 def nx_graph(graph: CSRGraph):

@@ -164,6 +164,7 @@ class TestAllHarnessAlgorithms:
             "c3list-hybrid",
             "c3list-cd",
             "c3list-cd-approx",
+            "bitset",
             "kclist",
             "arbcount",
             "chiba-nishizeki",
@@ -175,6 +176,20 @@ class TestAllHarnessAlgorithms:
         m = run_experiment(g, 4, algo, repeats=1)
         assert m.count == reference
         assert m.work > 0
+
+    def test_shared_prepared_context_across_a_sweep(self):
+        from repro.core.prepared import PreparedGraph
+
+        g = gnm_random_graph(40, 220, seed=17)
+        cold = sweep(g, [4, 5], ["c3list"], repeats=1)
+        warm = sweep(g, [4, 5], ["c3list"], repeats=1, prepared=PreparedGraph(g))
+        for c, w in zip(cold, warm):
+            assert c.count == w.count
+        # First warm cell builds the preprocessing (same work as cold);
+        # the k=5 cell charges only its search.
+        assert warm[0].work == cold[0].work
+        assert warm[1].work < cold[1].work
+        assert warm[1].search_work == cold[1].search_work
 
     def test_algorithms_registry_is_complete(self):
         # The registry must expose every Table-1 variant plus baselines.

@@ -56,6 +56,31 @@ class TestCount:
         save_npz(g, path)
         assert main(["count", str(path), "-k", "3"]) == 0
 
+    @pytest.mark.parametrize("engine", ["auto", "reference", "bitset", "process"])
+    def test_count_engine_flag(self, edge_file, capsys, engine):
+        from repro import count_cliques
+
+        path, g = edge_file
+        expected = count_cliques(g, 4, engine="reference").count
+        argv = ["count", path, "-k", "4", "--engine", engine]
+        if engine == "process":
+            argv += ["--workers", "1"]
+        assert main(argv) == 0
+        assert f"4-cliques: {expected}" in capsys.readouterr().out
+
+    def test_count_workers_routes_auto_to_process(self, edge_file, capsys):
+        from repro import count_cliques
+
+        path, g = edge_file
+        expected = count_cliques(g, 4, engine="reference").count
+        assert main(["count", path, "-k", "4", "--workers", "2"]) == 0
+        assert f"4-cliques: {expected}" in capsys.readouterr().out
+
+    def test_count_bad_engine_rejected(self, edge_file, capsys):
+        path, _ = edge_file
+        with pytest.raises(SystemExit):  # argparse choices
+            main(["count", path, "-k", "4", "--engine", "gpu"])
+
 
 class TestList:
     def test_list_output(self, edge_file, capsys):
@@ -88,6 +113,28 @@ class TestOtherCommands:
         assert main(["bench", "bio-sc-ht", "-k", "5"]) == 0
         out = capsys.readouterr().out
         assert "c3list" in out and "kclist" in out
+
+    def test_bench_warm_sweep_charges_preprocessing_once(self, capsys):
+        # Default bench shares one prepared context per graph: the k=5
+        # cell rides on the k=4 cell's preprocessing, so its work column
+        # must be strictly smaller than the same cell under --cold
+        # (counts unchanged).
+        def cells(argv):
+            assert main(argv) == 0
+            rows = {}
+            for line in capsys.readouterr().out.splitlines():
+                parts = line.split()
+                if len(parts) >= 6 and parts[2] == "c3list":
+                    rows[int(parts[1])] = (int(parts[3]), float(parts[5]))
+            return rows
+
+        warm = cells(["bench", "bio-sc-ht", "-k", "4", "-k", "5", "--algos", "c3list"])
+        cold = cells(
+            ["bench", "bio-sc-ht", "-k", "4", "-k", "5", "--algos", "c3list", "--cold"]
+        )
+        assert warm[4][0] == cold[4][0] and warm[5][0] == cold[5][0]
+        assert warm[4][1] == cold[4][1]  # first cell pays the build either way
+        assert warm[5][1] < cold[5][1]  # later cells ride the shared context
 
 
 class TestErrors:

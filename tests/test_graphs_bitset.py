@@ -81,6 +81,39 @@ class TestBitMatrix:
         assert mat.count_and(0, mat.full_mask()) == 5
 
 
+class TestFrozenRows:
+    def test_from_graph_rows_in_not_aliased(self):
+        # The seed bug: rows_in = rows (one buffer, two names). A frozen
+        # copy means the views can never drift apart.
+        g = gnm_random_graph(40, 150, seed=4)
+        mat = BitMatrix.from_graph(g)
+        assert mat.rows_in is not mat.rows
+        assert not np.shares_memory(mat.rows_in, mat.rows)
+        np.testing.assert_array_equal(mat.rows_in, mat.rows)
+
+    def test_constructed_matrices_are_frozen(self):
+        g = gnm_random_graph(40, 150, seed=4)
+        sym = BitMatrix.from_graph(g)
+        dag = orient_by_order(g, np.arange(40))
+        tri = BitMatrix.from_dag_community(dag, dag.out_neighbors(0).astype(np.int64))
+        for mat in (sym, tri):
+            assert not mat.rows.flags.writeable
+            assert not mat.rows_in.flags.writeable
+            with pytest.raises(ValueError):
+                mat.rows[0, 0] |= np.uint64(1)
+            with pytest.raises(ValueError):
+                mat.rows_in[0, 0] |= np.uint64(1)
+
+    def test_direct_constructor_stays_writable(self):
+        # Hand-built matrices (tests, future kernels) fill rows in place
+        # before freezing; the bare constructor must not pre-freeze.
+        mat = BitMatrix(8)
+        mat.rows[0] = pack_indices(np.array([1, 2]), 8)
+        mat._fill_in_rows()
+        mat.freeze()
+        assert not mat.rows.flags.writeable
+
+
 class TestFastEngine:
     @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
     def test_matches_oracle(self, k, small_random_graphs):
@@ -111,3 +144,34 @@ class TestFastEngine:
 
     def test_empty(self):
         assert fast_count_cliques(empty_graph(5), 4) == 0
+
+    def test_per_source_hoist_matches_reference_on_dense_sources(self):
+        # Regression for the per-edge matrix rebuild: sources with many
+        # eligible out-edges (planted cliques) now share one BitMatrix per
+        # source — counts must stay identical to the reference engine,
+        # including on a multi-word universe.
+        from repro import count_cliques
+        from repro.graphs.generators import plant_cliques
+
+        g = gnm_random_graph(120, 600, seed=8)
+        g, _ = plant_cliques(g, [10, 9], seed=8)
+        for k in (4, 5, 6, 8):
+            assert (
+                fast_count_cliques(g, k)
+                == count_cliques(g, k, engine="reference").count
+            ), k
+        # Multi-word universe (γ > 64), small k to keep the count tame.
+        wide, _ = plant_cliques(gnm_random_graph(100, 300, seed=8), [68], seed=8)
+        assert (
+            fast_count_cliques(wide, 4)
+            == count_cliques(wide, 4, engine="reference").count
+        )
+
+    def test_shared_prepared_context(self):
+        from repro.core.prepared import PreparedGraph
+
+        g = gnm_random_graph(50, 250, seed=6)
+        ctx = PreparedGraph(g)
+        cold = fast_count_cliques(g, 4)
+        assert fast_count_cliques(g, 4, prepared=ctx) == cold
+        assert fast_count_cliques(g, 4, prepared=ctx) == cold  # warm hit
