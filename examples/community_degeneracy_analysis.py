@@ -74,7 +74,9 @@ def main() -> None:
     rows = []
     for variant in ("best-work", "cd-best-work", "cd-best-depth"):
         tr = Tracker()
-        res = count_cliques(g, 7, variant=variant, tracker=tr)
+        # Pin the reference engine: this comparison reads the search
+        # phase of the work/depth algebra, which the batch engines skip.
+        res = count_cliques(g, 7, variant=variant, tracker=tr, engine="reference")
         rows.append(
             [variant, res.count, res.gamma, f"{tr.phases['search'].work:.3g}"]
         )

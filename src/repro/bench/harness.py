@@ -55,6 +55,23 @@ ALGORITHMS: Dict[str, Callable] = {
         engine="bitset",
         prepared=prepared if prepared is not None else PreparedGraph(g),
     ),
+    "frontier": lambda g, k, tr, prepared=None: count_cliques(
+        g,
+        k,
+        tracker=tr,
+        engine="frontier",
+        prepared=prepared if prepared is not None else PreparedGraph(g),
+    ),
+    # Dispatch-as-measured: resolve_engine (core/api.py) picks the
+    # executor exactly as a production query would; the resolved name
+    # lands in Measurement.engine so the record never hides the choice.
+    "auto": lambda g, k, tr, prepared=None: count_cliques(
+        g,
+        k,
+        tracker=tr,
+        engine="auto",
+        prepared=prepared if prepared is not None else PreparedGraph(g),
+    ),
     "kclist": lambda g, k, tr, prepared=None: kclist_count(g, k, tracker=tr),
     "arbcount": lambda g, k, tr, prepared=None: arbcount_count(g, k, tracker=tr),
     "chiba-nishizeki": lambda g, k, tr, prepared=None: chiba_nishizeki_count(
@@ -80,6 +97,7 @@ class Measurement:
     graph: str = ""
     search_work: float = 0.0  # work of the search phase only (no preprocessing)
     peak_candidate: int = 0  # largest candidate set (gamma) seen in the search
+    engine: str = ""  # resolved executor (never "auto"; baselines: their name)
 
     def simulated_time(self, p: int) -> float:
         return self.work / p + self.depth
@@ -120,6 +138,7 @@ def run_experiment(
     count: Optional[int] = None
     work = depth = t72 = t72_sched = search_work = 0.0
     peak_candidate = 0
+    engine = ""
     for rep in range(repeats):
         tracker = Tracker()
         if rep == 0:
@@ -135,6 +154,9 @@ def run_experiment(
             work = tracker.work
             depth = tracker.depth
             peak_candidate = int(getattr(result, "gamma", 0))
+            # Facade results carry the resolved engine; baselines (their
+            # own result types) are their own engine by definition.
+            engine = str(getattr(result, "engine", "") or algorithm)
             search_phase = tracker.phases.get("search")
             search_work = search_phase.work if search_phase is not None else work
             t72 = tracker.total.time_on(p)
@@ -166,6 +188,7 @@ def run_experiment(
         graph=graph_name,
         search_work=search_work,
         peak_candidate=peak_candidate,
+        engine=engine,
     )
 
 

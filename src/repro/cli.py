@@ -72,9 +72,14 @@ def _cmd_count(args: argparse.Namespace) -> int:
         tracker=tracker,
         engine=args.engine,
         workers=args.workers,
+        kernelize=args.kernelize,
     )
     print(f"{args.k}-cliques: {result.count}")
     if args.cost:
+        print(
+            f"engine = {result.engine}"
+            + (f" ({result.engine_reason})" if result.engine_reason else "")
+        )
         print(f"work  = {tracker.work:.6g}")
         print(f"depth = {tracker.depth:.6g}")
         print(f"T_72  = {result.simulated_time(72):.6g}")
@@ -85,7 +90,13 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     g = _load_graph(args.graph)
-    cliques = list_cliques(g, args.k, variant=args.variant)
+    cliques = list_cliques(
+        g,
+        args.k,
+        variant=args.variant,
+        engine=args.engine,
+        kernelize=args.kernelize,
+    )
     shown = cliques if args.limit is None else cliques[: args.limit]
     for c in shown:
         print(" ".join(str(v) for v in c))
@@ -163,6 +174,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                         graph_spec,
                         k,
                         algo,
+                        m.engine,
                         m.count,
                         f"{m.wall_mean:.4f}s",
                         f"{m.work:.4g}",
@@ -177,6 +189,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "graph",
                 "k",
                 "algorithm",
+                "engine",
                 "count",
                 "wall",
                 "work",
@@ -228,6 +241,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                     "count": report.count,
                     "work": report.work,
                     "depth": report.depth,
+                    "engine": report.engine,
+                    "engine_reason": report.engine_reason,
                     "spans": report.spans,
                     "metrics": report.metrics,
                 },
@@ -305,7 +320,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=ENGINES,
         default="auto",
-        help="executor: auto (default), reference, bitset, or process",
+        help="executor: auto (default), reference, frontier, bitset, or "
+        "process",
     )
     p.add_argument(
         "--workers",
@@ -314,6 +330,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the process engine (workers > 1 makes "
         "auto pick it)",
     )
+    p.add_argument(
+        "--kernelize",
+        action="store_true",
+        help="pre-shrink with the triangle-support kernel before the "
+        "search (k >= 4)",
+    )
     p.add_argument("--cost", action="store_true", help="print work/depth breakdown")
     p.set_defaults(func=_cmd_count)
 
@@ -321,6 +343,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph")
     p.add_argument("-k", type=int, required=True)
     p.add_argument("--variant", choices=VARIANTS, default="best-work")
+    p.add_argument(
+        "--engine",
+        choices=("reference", "frontier"),
+        default="reference",
+        help="listing engine (the bitset/process engines only count)",
+    )
+    p.add_argument(
+        "--kernelize",
+        action="store_true",
+        help="list on the triangle-support kernel, lifting witnesses "
+        "back to original vertex ids",
+    )
     p.add_argument("--limit", type=int, default=None, help="print at most N cliques")
     p.set_defaults(func=_cmd_list)
 

@@ -13,7 +13,7 @@ the listed cliques (when requested), the tracked PRAM work/depth, the
 per-phase breakdown, and the per-edge task log used for simulated
 parallel scheduling.
 
-Two serving concerns live here and nowhere else:
+Three serving concerns live here and nowhere else:
 
 * **Shared preprocessing.** Every call resolves a
   :class:`~repro.core.prepared.PreparedGraph` context — pass one
@@ -23,14 +23,19 @@ Two serving concerns live here and nowhere else:
   The first query on a graph is charged like a cold run; later ones
   charge only the search. Engine-level entry points (``run_variant``,
   ``fast_count_cliques``, …) stay cold unless handed a context.
-* **Engine dispatch.** ``count_cliques`` routes to one of three
+* **Engine dispatch.** ``count_cliques`` routes to one of four
   executors — ``reference`` (the instrumented Table-1 variants),
-  ``bitset`` (the packed-word kernel of :mod:`repro.core.fast`), or
-  ``process`` (real cores via :mod:`repro.core.parallel`). The default
-  ``auto`` picks ``process`` when ``workers > 1`` is requested, the
-  bitset kernel only where it actually wins in CPython (best-work
-  counting, k ≥ 4, candidate bitsets spanning more than one 64-bit
-  word), and the reference engine otherwise.
+  ``frontier`` (the level-synchronous vectorized engine of
+  :mod:`repro.core.frontier`), ``bitset`` (the packed-word kernel of
+  :mod:`repro.core.fast`), or ``process`` (real cores via
+  :mod:`repro.core.parallel`). The default ``auto`` resolves through
+  :func:`resolve_engine` — the *single* source of truth for dispatch,
+  which also reports why it picked what it picked.
+* **Kernelization.** ``kernelize=True`` pre-shrinks the instance with
+  the triangle-support kernel (:mod:`repro.graphs.kernels`) before
+  dispatching: every k-clique survives the reduction, witnesses are
+  lifted back to original vertex ids, and the achieved reduction is
+  published as the ``kernel.shrink_ratio`` metric.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from ..pram.tracker import Tracker
 from .clique_listing import CliqueSearchResult
 from .existence import find_clique
 from .fast import fast_count_cliques
+from .frontier import frontier_count_cliques, frontier_list_cliques
 from .parallel import count_cliques_parallel
 from .prepared import PreparedGraph, prepare
 from .recursive import SearchStats
@@ -53,11 +59,31 @@ __all__ = [
     "list_cliques",
     "has_clique",
     "resolve_engine",
+    "EngineDecision",
     "ENGINES",
     "VARIANTS",
 ]
 
-ENGINES = ("auto", "reference", "bitset", "process")
+ENGINES = ("auto", "reference", "frontier", "bitset", "process")
+
+
+class EngineDecision(str):
+    """The engine a query resolved to, plus *why*.
+
+    A plain ``str`` subclass, so every existing comparison
+    (``resolve_engine(...) == "process"``) keeps working unchanged; the
+    extra ``reason`` attribute carries the dispatcher's justification,
+    which ``repro profile`` and the bench records surface.
+    """
+
+    __slots__ = ("reason",)
+
+    reason: str
+
+    def __new__(cls, engine: str, reason: str) -> "EngineDecision":
+        self = str.__new__(cls, engine)
+        self.reason = reason
+        return self
 
 
 def resolve_engine(
@@ -67,31 +93,68 @@ def resolve_engine(
     prune: bool,
     workers: Optional[int],
     tracker: Tracker,
-) -> str:
+) -> EngineDecision:
     """The concrete engine ``auto`` dispatches to for this query.
 
-    ``process`` when the caller asked for real cores; ``bitset`` only in
-    the regime where the packed-word kernel beats the reference engine
-    under CPython — best-work counting with pruning, k ≥ 4, a non-empty
-    eligible set (γ ≥ k − 2), and candidate bitsets wider than one
-    64-bit word (single-word universes are dominated by per-call numpy
-    overhead); ``reference`` otherwise.
+    This is the single source of truth for dispatch — the CLI, the bench
+    harness and the profile report all call it rather than re-deriving
+    thresholds. The heuristic is calibrated against measured crossovers
+    (2026-08 recalibration, see ``docs/ALGORITHMS.md``):
+
+    * ``process`` when the caller asked for real cores (``workers > 1``);
+    * ``reference`` for k < 4 (closed-form direct answers), for
+      non-default variants, and for the ``prune=False`` ablation — those
+      paths exist *for* the reference engine's instrumentation;
+    * ``frontier`` for everything else. The level-synchronous engine
+      beat the reference recursion 15–40× and the bitset kernel 50–100×
+      at every measured point of the Table-2 regime (k = 4…8, both
+      single- and multi-word candidate universes), so the old
+      bitset-kernel auto-pick is retired: ``bitset`` remains available
+      only by explicit request.
+
+    ``prepared``/``tracker`` are part of the stable signature so future
+    recalibrations can consult graph shape without changing callers.
     """
+    del prepared, tracker  # current crossovers are shape-independent
     if workers is not None and workers > 1:
-        return "process"
-    if (
-        variant == "best-work"
-        and prune
-        and k >= 4
-        and prepared.gamma("degeneracy", tracker) >= k - 2
-        and prepared.bitset_words(tracker) > 1
-    ):
-        return "bitset"
-    return "reference"
+        return EngineDecision(
+            "process",
+            f"workers={workers} > 1: real cores beat any single-process "
+            "engine on CPython",
+        )
+    if k < 4:
+        return EngineDecision(
+            "reference",
+            f"k={k} < 4 is answered directly (vertices/edges/triangles); "
+            "no search engine is involved",
+        )
+    if variant != "best-work":
+        return EngineDecision(
+            "reference",
+            f"variant {variant!r}: only the reference engine instruments "
+            "non-default Table-1 variants",
+        )
+    if not prune:
+        return EngineDecision(
+            "reference",
+            "prune=False ablation: only the reference engine runs without "
+            "the relevant-pair criterion's instrumentation",
+        )
+    return EngineDecision(
+        "frontier",
+        "best-work counting at k >= 4: the level-synchronous frontier "
+        "engine wins every measured crossover (15-40x vs reference, "
+        "50-100x vs bitset)",
+    )
 
 
 def _synthesize_result(
-    prepared: PreparedGraph, k: int, count: int, tracker: Tracker
+    prepared: PreparedGraph,
+    k: int,
+    count: int,
+    tracker: Tracker,
+    engine: str,
+    reason: str = "",
 ) -> CliqueSearchResult:
     """Wrap a bare count from a non-reference engine in the result type.
 
@@ -115,7 +178,36 @@ def _synthesize_result(
         gamma=gamma,
         max_out_degree=max_out,
         cliques=None,
+        engine=engine,
+        engine_reason=reason,
     )
+
+
+def _kernelized(
+    graph: CSRGraph,
+    ctx: PreparedGraph,
+    k: int,
+    tracker: Tracker,
+) -> Tuple[CSRGraph, PreparedGraph, Optional["object"]]:
+    """Resolve the (graph, context) pair the engines should run on.
+
+    For k >= 4 this swaps in the triangle-support kernel (every k-clique
+    survives the reduction) and publishes the achieved shrink as
+    ``kernel.shrink_ratio``; for smaller k the kernel cannot preserve
+    counts of sub-k structures, so the original instance is returned.
+    """
+    if k < 4:
+        return graph, ctx, None
+    kern, kctx = ctx.kernel(k, tracker)
+    metrics = tracker.metrics
+    if metrics is not None:
+        before = max(1, graph.num_vertices)
+        metrics.gauge("kernel.shrink_ratio").set(
+            kern.graph.num_vertices / before
+        )
+        metrics.gauge("kernel.kept_vertices").set(kern.graph.num_vertices)
+        metrics.gauge("kernel.kept_edges").set(kern.graph.num_edges)
+    return kern.graph, kctx, kern
 
 
 def count_cliques(
@@ -128,6 +220,7 @@ def count_cliques(
     engine: str = "auto",
     workers: Optional[int] = None,
     prepared: Optional[PreparedGraph] = None,
+    kernelize: bool = False,
 ) -> CliqueSearchResult:
     """Count all k-cliques of ``graph``.
 
@@ -151,15 +244,22 @@ def count_cliques(
     prune:
         Disable the relevant-pair criterion with ``False`` (ablation).
     engine:
-        ``auto`` (default), ``reference``, ``bitset``, or ``process``.
-        ``bitset``/``process`` return only the count plus preprocessing
-        metadata (their search is untracked; ``stats`` are zero).
+        ``auto`` (default), ``reference``, ``frontier``, ``bitset``, or
+        ``process``. The non-reference engines return only the count plus
+        preprocessing metadata (their search is untracked; ``stats`` are
+        zero). The resolved engine and the dispatcher's justification are
+        recorded on the result (``engine``/``engine_reason``).
     workers:
         Worker-process count for the ``process`` engine; ``workers > 1``
         makes ``auto`` pick it.
     prepared:
         A shared preprocessing context. Default: the façade's LRU cache,
         so repeated queries on the same graph amortize preprocessing.
+    kernelize:
+        Pre-shrink with the triangle-support kernel before dispatch
+        (k ≥ 4 only — the reduction preserves exactly the k-cliques).
+        The kernelized context is memoized on the prepared graph, and the
+        reduction is published as ``kernel.shrink_ratio``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -170,27 +270,39 @@ def count_cliques(
     if ctx.graph is not graph:
         raise ValueError("prepared context was built for a different graph")
 
-    if engine == "auto":
-        # Resolving needs γ for k >= 4 only; trivial sizes go straight to
-        # the reference engine (its k < 4 paths are already direct).
-        engine = (
-            resolve_engine(ctx, k, variant, prune, workers, tracker)
-            if k >= 4
-            else ("process" if workers is not None and workers > 1 else "reference")
-        )
+    if kernelize:
+        graph, ctx, _ = _kernelized(graph, ctx, k, tracker)
 
+    if engine == "auto":
+        decision = resolve_engine(ctx, k, variant, prune, workers, tracker)
+        engine, reason = str(decision), decision.reason
+    else:
+        reason = f"engine {engine!r} explicitly requested"
+
+    if engine == "frontier":
+        count = frontier_count_cliques(
+            graph, k, prepared=ctx, tracker=tracker, prune=prune
+        )
+        return _synthesize_result(ctx, k, count, tracker, engine, reason)
     if engine == "bitset":
         count = fast_count_cliques(graph, k, prepared=ctx, tracker=tracker)
-        return _synthesize_result(ctx, k, count, tracker)
+        return _synthesize_result(ctx, k, count, tracker, engine, reason)
     if engine == "process":
+        # Workers run the vectorized frontier kernel over their slices
+        # wherever it applies (same regime as the sequential dispatch);
+        # the prune=False ablation keeps the recursive workers.
         count = count_cliques_parallel(
-            graph, k, n_workers=workers, tracker=tracker, prepared=ctx
+            graph, k, n_workers=workers, tracker=tracker, prepared=ctx,
+            engine="frontier" if (k >= 4 and prune) else "reference",
         )
-        return _synthesize_result(ctx, k, count, tracker)
-    return run_variant(
+        return _synthesize_result(ctx, k, count, tracker, engine, reason)
+    result = run_variant(
         graph, k, variant, tracker, eps=eps, collect=False, prune=prune,
         prepared=ctx,
     )
+    result.engine = "reference"
+    result.engine_reason = reason
+    return result
 
 
 def list_cliques(
@@ -200,27 +312,55 @@ def list_cliques(
     eps: float = 0.5,
     tracker: Optional[Tracker] = None,
     prepared: Optional[PreparedGraph] = None,
+    engine: str = "reference",
+    kernelize: bool = False,
 ) -> List[Tuple[int, ...]]:
     """List all k-cliques as sorted vertex tuples (each exactly once).
 
-    The returned list is in lexicographic order regardless of variant or
-    schedule, so two runs (or two engines) produce byte-identical output —
-    the property lint rule R3 guards inside the engines. The engines
-    canonicalize exactly once (inside :func:`run_variant`); re-sorting the
+    The returned list is in lexicographic order regardless of variant,
+    engine or schedule, so two runs (or two engines) produce
+    byte-identical output — the property lint rule R3 guards inside the
+    engines. The engines canonicalize exactly once (inside
+    :func:`run_variant` / :func:`frontier_list_cliques`); re-sorting the
     already-sorted listing here would pay a second O(C·k log C) pass on
     the hot path, so this function returns the listing as-is and a test
-    asserts the canonical order instead. Listing always runs on the
-    reference engine (the others only count).
+    asserts the canonical order instead.
+
+    ``engine`` is ``reference`` (default, the instrumented path) or
+    ``frontier`` (the vectorized level-synchronous lister); the bitset
+    and process engines only count. With ``kernelize=True`` the listing
+    runs on the triangle-support kernel and every witness is lifted back
+    to original vertex ids (re-canonicalized after lifting).
     """
+    if engine not in ("reference", "frontier"):
+        raise ValueError(
+            f"listing supports engines ('reference', 'frontier'), "
+            f"got {engine!r}"
+        )
     tracker = tracker if tracker is not None else Tracker()
     ctx = prepared if prepared is not None else prepare(
         graph, eps=eps, tracker=tracker
     )
-    result = run_variant(
-        graph, k, variant, tracker, eps=eps, collect=True, prepared=ctx
-    )
-    assert result.cliques is not None
-    return result.cliques
+    if ctx.graph is not graph:
+        raise ValueError("prepared context was built for a different graph")
+
+    kern = None
+    if kernelize:
+        graph, ctx, kern = _kernelized(graph, ctx, k, tracker)
+
+    if engine == "frontier":
+        listed = frontier_list_cliques(graph, k, prepared=ctx, tracker=tracker)
+    else:
+        result = run_variant(
+            graph, k, variant, tracker, eps=eps, collect=True, prepared=ctx
+        )
+        assert result.cliques is not None
+        listed = result.cliques
+    if kern is not None:
+        # Kernel-space ids differ from the originals; lift and restore
+        # the canonical (lexicographic) order the contract promises.
+        listed = sorted(kern.lift(c) for c in listed)
+    return listed
 
 
 def has_clique(

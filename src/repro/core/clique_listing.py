@@ -35,7 +35,11 @@ class CliqueSearchResult:
     ``count`` is the number of k-cliques; ``cost`` the tracked total
     work/depth; ``task_log`` the per-edge task costs of the outer parallel
     loop (for the Brent / greedy scheduling simulation); ``stats`` the raw
-    search counters; ``phases`` the per-phase cost breakdown.
+    search counters; ``phases`` the per-phase cost breakdown. ``engine``
+    is the executor that actually answered (the façade resolves ``auto``
+    before dispatching) and ``engine_reason`` is the dispatcher's stated
+    justification — the bench harness and ``repro profile`` surface both
+    so a regression gate never silently compares different engines.
     """
 
     k: int
@@ -47,6 +51,8 @@ class CliqueSearchResult:
     gamma: int = 0
     max_out_degree: int = 0
     cliques: Optional[List[Tuple[int, ...]]] = None
+    engine: str = "reference"
+    engine_reason: str = ""
 
     def simulated_time(self, p: int) -> float:
         """Brent-simulated runtime on ``p`` processors."""

@@ -50,6 +50,8 @@ from ..orders.approx_community import approx_community_order
 from ..orders.approx_degeneracy import approx_degeneracy_order
 from ..orders.community_order import EdgeOrderResult, community_degeneracy_order
 from ..orders.degeneracy import degeneracy_order
+from ..pram.cost import Cost
+from ..pram.primitives import log2p1
 from ..pram.tracker import NULL_TRACKER, Tracker
 from ..triangles.communities import EdgeCommunities, build_communities
 from ..triangles.count import list_triangles
@@ -86,6 +88,8 @@ class PreparedGraph:
         "_triangles",
         "_communities",
         "_edge_orders",
+        "_frontier_tables",
+        "_kernels",
     )
 
     def __init__(self, graph: CSRGraph, eps: float = 0.5) -> None:
@@ -100,6 +104,8 @@ class PreparedGraph:
         self._triangles: Dict[str, np.ndarray] = {}
         self._communities: Dict[str, EdgeCommunities] = {}
         self._edge_orders: Dict[str, EdgeOrderResult] = {}
+        self._frontier_tables: Dict[str, Any] = {}
+        self._kernels: Dict[int, Any] = {}
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -190,6 +196,63 @@ class PreparedGraph:
         with tracker.phase("communities"):
             got = build_communities(dag, tracker=tracker, triangles=tri)
         self._communities[variant] = got
+        return got
+
+    def frontier_tables(
+        self, variant: str = "degeneracy", tracker: Tracker = NULL_TRACKER
+    ) -> Any:
+        """The edge-indexed packed bitrows of the frontier engine.
+
+        Built from the memoized DAG + triangle list in one vectorized
+        pass (:func:`repro.core.frontier.build_frontier_tables`); the
+        tables are query-independent, so a multi-k sweep or a warm server
+        pays the O(T) packing once per (graph, order).
+        """
+        self._check_variant(variant)
+        got = self._frontier_tables.get(variant)
+        if got is not None:
+            self._note(tracker, hit=True)
+            return got
+        from .frontier import build_frontier_tables
+
+        dag = self.dag(variant, tracker)
+        tri = self.triangles(variant, tracker)
+        self._note(tracker, hit=False)
+        with tracker.phase("bitrows"):
+            got = build_frontier_tables(dag, tri)
+            tracker.charge(
+                Cost(
+                    float(tri.shape[0] + dag.num_edges),
+                    log2p1(max(tri.shape[0], dag.num_edges)) + 1,
+                )
+            )
+        self._frontier_tables[variant] = got
+        return got
+
+    def kernel(
+        self, k: int, tracker: Tracker = NULL_TRACKER
+    ) -> Tuple["Kernel", "PreparedGraph"]:
+        """The k-clique kernel of the graph plus its own prepared context.
+
+        The (k−1)-core + triangle-support fixed point
+        (:func:`repro.graphs.kernels.triangle_kernel`) preserves every
+        k-clique; the returned nested context lets any engine run on the
+        shrunken instance with the usual piece memoization. Keyed per
+        ``k`` — kernels for different clique sizes differ.
+        """
+        if k < 1:
+            raise ValueError(f"clique size must be >= 1, got {k}")
+        got = self._kernels.get(k)
+        if got is not None:
+            self._note(tracker, hit=True)
+            return got
+        from ..graphs.kernels import triangle_kernel
+
+        self._note(tracker, hit=False)
+        with tracker.phase("kernelize"):
+            kern = triangle_kernel(self.graph, k, tracker=tracker)
+        got = (kern, PreparedGraph(kern.graph, eps=self.eps))
+        self._kernels[k] = got
         return got
 
     # -- edge-order pipeline (Algorithm 3/4) -------------------------------

@@ -19,6 +19,10 @@ Which metrics to watch depends on where the comparison runs:
 
 Count mismatches are always fatal: differing clique counts mean the two
 records measured different computations, and no speedup excuses that.
+Engine mismatches are fatal for the same reason — when both records
+carry the resolved-engine tag (schema ≥ this version), a cell whose
+baseline ran one engine and whose current run resolved to another is a
+dispatch change, not a perf delta, and must be re-baselined explicitly.
 """
 
 from __future__ import annotations
@@ -66,13 +70,18 @@ class ComparisonReport:
     regressions: List[CellDelta] = field(default_factory=list)
     improvements: List[CellDelta] = field(default_factory=list)
     count_mismatches: List[str] = field(default_factory=list)
+    engine_mismatches: List[str] = field(default_factory=list)
     missing_cells: List[str] = field(default_factory=list)
     new_cells: List[str] = field(default_factory=list)
     compared_cells: int = 0
 
     @property
     def ok(self) -> bool:
-        return not self.regressions and not self.count_mismatches
+        return (
+            not self.regressions
+            and not self.count_mismatches
+            and not self.engine_mismatches
+        )
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -81,6 +90,7 @@ class ComparisonReport:
             f"metrics={','.join(self.metrics)}, tolerance={self.tolerance:g}"
         ]
         lines.extend(f"  COUNT MISMATCH {s}" for s in self.count_mismatches)
+        lines.extend(f"  ENGINE MISMATCH {s}" for s in self.engine_mismatches)
         lines.extend(f"  REGRESSION {d.describe()}" for d in self.regressions)
         lines.extend(f"  improved   {d.describe()}" for d in self.improvements)
         lines.extend(f"  (baseline-only cell: {s})" for s in self.missing_cells)
@@ -122,6 +132,18 @@ def compare_records(
             report.count_mismatches.append(
                 f"{'/'.join(map(str, key))}: baseline counted "
                 f"{base['count']}, current counted {cur['count']}"
+            )
+            continue
+        # Only enforceable when both records carry the tag: committed
+        # baselines predating the `engine` field stay comparable.
+        if (
+            base.get("engine")
+            and cur.get("engine")
+            and base["engine"] != cur["engine"]
+        ):
+            report.engine_mismatches.append(
+                f"{'/'.join(map(str, key))}: baseline ran engine "
+                f"{base['engine']!r}, current resolved to {cur['engine']!r}"
             )
             continue
         for metric in metrics:

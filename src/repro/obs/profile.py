@@ -29,7 +29,14 @@ __all__ = ["ProfileReport", "profile_run", "format_profile"]
 
 @dataclass
 class ProfileReport:
-    """Everything one profiled run produced."""
+    """Everything one profiled run produced.
+
+    ``engine``/``engine_reason`` report what the ``auto`` dispatcher
+    (:func:`repro.core.api.resolve_engine`, the single source of truth)
+    would run for this query and *why* — the profiled run itself always
+    uses the reference engine, because it is the only one whose search
+    phase is instrumented span-by-span.
+    """
 
     variant: str
     k: int
@@ -38,6 +45,8 @@ class ProfileReport:
     depth: float
     spans: Dict[str, Any]
     metrics: Dict[str, Any]
+    engine: str = "reference"
+    engine_reason: str = ""
 
 
 def profile_run(
@@ -47,6 +56,8 @@ def profile_run(
     eps: float = 0.5,
 ) -> ProfileReport:
     """Run ``count_cliques`` once with full observability attached."""
+    from ..core.api import resolve_engine
+    from ..core.prepared import PreparedGraph
     from ..core.variants import run_variant
 
     tracker = Tracker()
@@ -54,8 +65,10 @@ def profile_run(
     registry = MetricsRegistry()
     tracker.attach_spans(recorder)
     tracker.attach_metrics(registry)
+    ctx = PreparedGraph(graph, eps=eps)
+    decision = resolve_engine(ctx, k, variant, True, None, tracker)
     with recorder.span("run"):
-        result = run_variant(graph, k, variant, tracker, eps=eps)
+        result = run_variant(graph, k, variant, tracker, eps=eps, prepared=ctx)
     return ProfileReport(
         variant=variant,
         k=k,
@@ -64,6 +77,8 @@ def profile_run(
         depth=tracker.depth,
         spans=recorder.to_dict(),
         metrics=registry.to_dict(),
+        engine=str(decision),
+        engine_reason=decision.reason,
     )
 
 
@@ -95,6 +110,8 @@ def format_profile(report: ProfileReport) -> str:
     lines = [
         f"profile: variant={report.variant} k={report.k} "
         f"count={report.count} work={report.work:.6g} depth={report.depth:.6g}",
+        f"auto dispatch: {report.engine}"
+        + (f" — {report.engine_reason}" if report.engine_reason else ""),
         "",
         "spans:",
         format_span_tree(rebuild(report.spans), indent=1),

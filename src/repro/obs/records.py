@@ -53,6 +53,14 @@ _ENTRY_FIELDS: Dict[str, type] = {
     "peak_candidate": int,
 }
 
+# Optional per-entry fields: written by current harnesses, tolerated as
+# absent so pre-existing committed baselines keep loading. ``engine`` is
+# the *resolved* executor that produced the cell (``auto`` never appears
+# here) — the comparison gate refuses to diff cells whose engines differ.
+_OPTIONAL_ENTRY_FIELDS: Dict[str, type] = {
+    "engine": str,
+}
+
 
 def entry_key(entry: Dict[str, Any]) -> tuple:
     """The identity of a cell: records are joined on (graph, algorithm, k)."""
@@ -82,6 +90,7 @@ def make_record(
                 "repeats": int(m.repeats),
                 "search_work": float(m.search_work),
                 "peak_candidate": int(getattr(m, "peak_candidate", 0)),
+                "engine": str(getattr(m, "engine", "") or m.algorithm),
             }
         )
     record: Dict[str, Any] = {
@@ -139,6 +148,12 @@ def validate_record(record: Any) -> List[str]:
                         f"entries[{i}].{field} must be {typ.__name__}, "
                         f"got {type(value).__name__}"
                     )
+        for field, typ in _OPTIONAL_ENTRY_FIELDS.items():
+            if field in entry and not isinstance(entry[field], typ):
+                errors.append(
+                    f"entries[{i}].{field} must be {typ.__name__}, "
+                    f"got {type(entry[field]).__name__}"
+                )
         if all(f in entry for f in ("graph", "algorithm", "k")):
             key = entry_key(entry)
             if key in seen:

@@ -73,15 +73,48 @@ def available_workers(requested: Optional[int] = None) -> int:
     return min(requested, max(cpus, 1)) if requested > 1 else 1
 
 
-def chunk_indices(n: int, chunks: int) -> List[np.ndarray]:
-    """Split ``range(n)`` into at most ``chunks`` contiguous numpy blocks."""
+def chunk_indices(
+    n: int, chunks: int, weights: Optional[Sequence[float]] = None
+) -> List[np.ndarray]:
+    """Split ``range(n)`` into at most ``chunks`` contiguous numpy blocks.
+
+    With ``weights`` (one non-negative weight per index) the cut points
+    sit at equal *cumulative-weight* targets instead of equal
+    cardinality, so a few heavy indices — large communities, wide
+    frontier slices — don't pile into one worker's chunk. Blocks remain
+    contiguous and cover the range in order either way; all-zero weights
+    fall back to the cardinality split.
+    """
     if n < 0:
         raise ValueError("cannot chunk a negative range")
     if chunks < 1:
         raise ValueError("need at least one chunk")
     if n == 0:
         return []
-    return [np.asarray(c) for c in np.array_split(np.arange(n), min(chunks, n))]
+    if weights is None:
+        return [
+            np.asarray(c) for c in np.array_split(np.arange(n), min(chunks, n))
+        ]
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,):
+        raise ValueError(
+            f"need one weight per index: got shape {w.shape} for n={n}"
+        )
+    if w.size and float(w.min()) < 0:
+        raise ValueError("chunk weights must be non-negative")
+    total = float(w.sum())
+    if total <= 0:
+        return chunk_indices(n, chunks)
+    cum = np.cumsum(w)
+    parts = min(chunks, n)
+    targets = total * np.arange(1, parts) / parts
+    # First index whose running weight reaches each target closes a block.
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds = np.unique(np.concatenate([[0], cuts, [n]]))
+    return [
+        np.arange(a, b)
+        for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist())
+    ]
 
 
 def parallel_map_reduce(
@@ -94,6 +127,7 @@ def parallel_map_reduce(
     state: Any = None,
     initial: Optional[T] = None,
     tracker: Optional[Tracker] = None,
+    weights: Optional[Sequence[float]] = None,
 ) -> Optional[T]:
     """Apply ``worker(chunk, *args)`` over chunks of ``range(n)`` and fold.
 
@@ -111,6 +145,8 @@ def parallel_map_reduce(
     sequential path and runs every chunk as one task of a CREW-checked
     parallel region, so worker writes recorded against watched arrays
     raise :class:`~repro.pram.sanitize.CREWViolation` on conflicts.
+    ``weights`` balances chunks by estimated per-index work instead of
+    cardinality (see :func:`chunk_indices`).
     """
     workers = available_workers(n_workers)
     sanitizing = tracker is not None and tracker.sanitize
@@ -118,7 +154,7 @@ def parallel_map_reduce(
         workers = 1  # conflict detection needs every chunk in-process
     if n == 0:
         return initial
-    blocks = chunk_indices(n, workers * chunks_per_worker)
+    blocks = chunk_indices(n, workers * chunks_per_worker, weights=weights)
     metrics = tracker.metrics if tracker is not None else None
     if metrics is not None:
         # Executor observability: chunk-size distribution and the spread

@@ -2,10 +2,12 @@
 
 A reproduction's strongest evidence is agreement: this module runs every
 counting engine in the repository (the six Table-1 variants, the
-triangle-growing extension, the bitset kernel, the process-parallel
-wrapper, and the three baselines) against each other — and against the
-brute-force oracle on small instances — over randomized graphs, and
-reports the first disagreement. Exposed as ``python -m repro selfcheck``.
+triangle-growing extension, the bitset kernel, the level-synchronous
+frontier engine — cold, warm, kernelized, and sliced across the process
+executor — the process-parallel wrapper, and the three baselines)
+against each other — and against the brute-force oracle on small
+instances — over randomized graphs, and reports the first disagreement.
+Exposed as ``python -m repro selfcheck``.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from .baselines.kclist import kclist_count
 from .core.api import count_cliques
 from .core.existence import find_clique
 from .core.fast import fast_count_cliques
+from .core.frontier import frontier_count_cliques
 from .core.motifs import count_cliques_triangle_growing
 from .core.parallel import count_cliques_parallel
 from .core.prepared import PreparedGraph
@@ -62,6 +65,30 @@ def _warm_variant_count(g: CSRGraph, k: int, v: str) -> int:
     return run_variant(g, k, v, Tracker(), prepared=ctx).count
 
 
+def _warm_frontier_count(g: CSRGraph, k: int) -> int:
+    """Second frontier query on a shared context (tables served cached)."""
+    ctx = PreparedGraph(g)
+    frontier_count_cliques(g, k, prepared=ctx)
+    return frontier_count_cliques(g, k, prepared=ctx)
+
+
+def _auto_frontier_count(g: CSRGraph, k: int) -> int:
+    """Default dispatch, asserting it actually routes to the frontier.
+
+    ``count_cliques`` with everything at defaults is the paper regime
+    (best-work counting, pruning on); for k ≥ 4 the recalibrated
+    heuristic must resolve to the frontier engine — a silent fallback to
+    a slower engine is a dispatch regression even when counts agree.
+    """
+    result = count_cliques(g, k)
+    if k >= 4 and result.engine != "frontier":
+        raise AssertionError(
+            f"auto dispatch resolved to {result.engine!r} for k={k}; "
+            f"expected 'frontier' ({result.engine_reason})"
+        )
+    return result.count
+
+
 def _engines() -> Dict[str, object]:
     table: Dict[str, object] = {
         f"variant:{v}": (lambda g, k, v=v: run_variant(g, k, v, Tracker()).count)
@@ -93,9 +120,20 @@ def _engines() -> Dict[str, object]:
             "process-parallel": lambda g, k: count_cliques_parallel(
                 g, k, n_workers=1
             ),
+            "process-frontier": lambda g, k: count_cliques_parallel(
+                g, k, n_workers=1, engine="frontier"
+            ),
+            "frontier": frontier_count_cliques,
+            "frontier:warm": _warm_frontier_count,
+            "frontier:kernelized": lambda g, k: count_cliques(
+                g, k, engine="frontier", kernelize=True
+            ).count,
             # The façade with engine dispatch left on auto (whatever the
-            # heuristic picks must agree with everything else).
+            # heuristic picks must agree with everything else), plus the
+            # stricter twin that also pins *which* engine auto resolves
+            # to in the k >= 4 default regime.
             "engine:auto": lambda g, k: count_cliques(g, k).count,
+            "engine:auto-frontier": _auto_frontier_count,
         }
     )
     return table

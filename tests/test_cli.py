@@ -56,7 +56,9 @@ class TestCount:
         save_npz(g, path)
         assert main(["count", str(path), "-k", "3"]) == 0
 
-    @pytest.mark.parametrize("engine", ["auto", "reference", "bitset", "process"])
+    @pytest.mark.parametrize(
+        "engine", ["auto", "reference", "frontier", "bitset", "process"]
+    )
     def test_count_engine_flag(self, edge_file, capsys, engine):
         from repro import count_cliques
 
@@ -97,6 +99,18 @@ class TestList:
         out = capsys.readouterr().out
         assert len(out.strip().splitlines()) <= 2
 
+    def test_list_frontier_engine_matches_reference(self, edge_file, capsys):
+        path, _ = edge_file
+        assert main(["list", path, "-k", "4"]) == 0
+        ref_out = capsys.readouterr().out
+        assert main(["list", path, "-k", "4", "--engine", "frontier"]) == 0
+        assert capsys.readouterr().out == ref_out
+        assert (
+            main(["list", path, "-k", "4", "--engine", "frontier", "--kernelize"])
+            == 0
+        )
+        assert capsys.readouterr().out == ref_out
+
 
 class TestOtherCommands:
     def test_spectrum(self, edge_file, capsys):
@@ -124,8 +138,9 @@ class TestOtherCommands:
             rows = {}
             for line in capsys.readouterr().out.splitlines():
                 parts = line.split()
-                if len(parts) >= 6 and parts[2] == "c3list":
-                    rows[int(parts[1])] = (int(parts[3]), float(parts[5]))
+                # columns: graph k algorithm engine count wall work ...
+                if len(parts) >= 7 and parts[2] == "c3list":
+                    rows[int(parts[1])] = (int(parts[4]), float(parts[6]))
             return rows
 
         warm = cells(["bench", "bio-sc-ht", "-k", "4", "-k", "5", "--algos", "c3list"])

@@ -1,0 +1,195 @@
+"""Frontier engine: bit-identical counts and listings vs the reference.
+
+The level-synchronous engine (``repro.core.frontier``) must agree with
+the reference recursion on *everything* it claims to compute: counts
+across all six Table-1 variants, canonical listings, the ``prune=False``
+ablation, warm and cold prepared contexts, and with or without the
+triangle-support kernelization. These are the acceptance properties of
+the engine; the perf story lives in BENCH_baseline.json.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import count_cliques, list_cliques
+from repro.baselines import brute_force_count
+from repro.core import VARIANTS, run_variant
+from repro.core.api import EngineDecision, resolve_engine
+from repro.core.frontier import (
+    build_frontier_tables,
+    count_frontier_slice,
+    frontier_count_cliques,
+    frontier_list_cliques,
+)
+from repro.core.prepared import PreparedGraph
+from repro.graphs import complete_graph, from_edges, gnm_random_graph
+from repro.obs import MetricsRegistry
+from repro.pram.tracker import NULL_TRACKER, Tracker
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_graphs(draw, max_n=16):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), min_size=0, max_size=len(possible))
+    )
+    edges = np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, num_vertices=n)
+
+
+@given(g=random_graphs(), k=st.integers(min_value=4, max_value=6))
+@settings(**SETTINGS)
+def test_frontier_matches_every_variant_count(g, k):
+    got = frontier_count_cliques(g, k)
+    for variant in VARIANTS:
+        assert run_variant(g, k, variant, Tracker()).count == got, variant
+
+
+@given(g=random_graphs(), k=st.integers(min_value=1, max_value=6))
+@settings(**SETTINGS)
+def test_frontier_warm_cold_and_kernelized_counts(g, k):
+    expected = brute_force_count(g, k)
+    ctx = PreparedGraph(g)
+    assert frontier_count_cliques(g, k, prepared=ctx) == expected  # cold
+    assert frontier_count_cliques(g, k, prepared=ctx) == expected  # warm
+    assert (
+        count_cliques(g, k, engine="frontier", kernelize=True).count
+        == expected
+    )
+
+
+@given(g=random_graphs(max_n=12), k=st.integers(min_value=4, max_value=5))
+@settings(**SETTINGS)
+def test_frontier_listing_is_canonical_warm_cold_kernelized(g, k):
+    ctx = PreparedGraph(g)
+    ref = list_cliques(g, k, prepared=ctx)
+    assert frontier_list_cliques(g, k) == ref  # cold private context
+    assert frontier_list_cliques(g, k, prepared=ctx) == ref  # warm
+    assert (
+        list_cliques(g, k, engine="frontier", kernelize=True, prepared=ctx)
+        == ref
+    )
+    assert list_cliques(g, k, kernelize=True, prepared=ctx) == ref
+
+
+@given(g=random_graphs(), k=st.integers(min_value=4, max_value=6))
+@settings(**SETTINGS)
+def test_prune_ablation_changes_nothing_but_work(g, k):
+    assert frontier_count_cliques(g, k, prune=False) == frontier_count_cliques(
+        g, k
+    )
+
+
+class TestTrivialSizes:
+    def test_direct_answers_below_k4(self):
+        g = gnm_random_graph(20, 60, seed=3)
+        ref = {k: run_variant(g, k, "best-work", Tracker()).count for k in (1, 2, 3)}
+        for k, expected in ref.items():
+            assert frontier_count_cliques(g, k) == expected
+            assert frontier_list_cliques(g, k) == list_cliques(g, k)
+
+    def test_bad_k_rejected(self):
+        g = complete_graph(5)
+        with pytest.raises(ValueError):
+            frontier_count_cliques(g, 0)
+
+
+class TestSliceDecomposition:
+    def test_slices_partition_the_count(self):
+        # The process executor's contract: summing count_frontier_slice
+        # over any partition of the eligible edges reproduces the total.
+        g = gnm_random_graph(40, 220, seed=7)
+        k = 5
+        ctx = PreparedGraph(g)
+        total = frontier_count_cliques(g, k, prepared=ctx)
+        tables = ctx.frontier_tables("degeneracy")
+        comms = ctx.communities("degeneracy")
+        eligible = np.flatnonzero(comms.sizes >= (k - 2))
+        for parts in (1, 2, 3, 7):
+            pieces = np.array_split(eligible, parts)
+            assert (
+                sum(count_frontier_slice(tables, p, k - 2) for p in pieces)
+                == total
+            )
+
+    def test_empty_slice_counts_zero(self):
+        g = complete_graph(6)
+        ctx = PreparedGraph(g)
+        tables = ctx.frontier_tables("degeneracy")
+        assert count_frontier_slice(tables, np.empty(0, dtype=np.int64), 2) == 0
+
+
+class TestTables:
+    def test_tables_are_frozen_and_shaped(self):
+        g = gnm_random_graph(25, 90, seed=11)
+        ctx = PreparedGraph(g)
+        dag = ctx.dag("degeneracy")
+        tri = ctx.triangles("degeneracy")
+        tables = build_frontier_tables(dag, tri)
+        width_words = (dag.max_out_degree + 63) // 64
+        assert tables.rows.shape == (dag.num_edges, width_words)
+        assert tables.rows_in.shape == (dag.num_edges, width_words)
+        assert not tables.rows.flags.writeable
+        assert not tables.rows_in.flags.writeable
+
+    def test_prepared_context_memoizes_tables(self):
+        g = gnm_random_graph(25, 90, seed=11)
+        ctx = PreparedGraph(g)
+        first = ctx.frontier_tables("degeneracy")
+        assert ctx.frontier_tables("degeneracy") is first
+
+
+class TestObservability:
+    def test_frontier_metrics_emitted(self):
+        g = complete_graph(12)
+        registry = MetricsRegistry()
+        tracker = Tracker()
+        tracker.attach_metrics(registry)
+        frontier_count_cliques(g, 5, tracker=tracker)
+        data = registry.to_dict()
+        assert data["frontier.rounds"]["value"] >= 1
+        assert data["frontier.width"]["count"] >= 1
+        assert data["frontier.peak_width"]["max"] >= 1
+
+    def test_kernel_metrics_emitted(self):
+        # A clique plus pendant noise: the kernel strictly shrinks, and
+        # the shrink ratio lands in the registry.
+        edges = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        edges += [(5 + i, 5 + i + 1) for i in range(1, 8)]
+        g = from_edges(np.asarray(edges, dtype=np.int64), num_vertices=14)
+        registry = MetricsRegistry()
+        tracker = Tracker()
+        tracker.attach_metrics(registry)
+        result = count_cliques(g, 4, kernelize=True, tracker=tracker)
+        assert result.count == brute_force_count(g, 4)
+        data = registry.to_dict()
+        assert 0 < data["kernel.shrink_ratio"]["value"] < 1
+        assert data["kernel.kept_vertices"]["value"] == 6
+
+
+class TestDispatchMetadata:
+    def test_auto_resolves_to_frontier_and_says_why(self):
+        g = complete_graph(10)
+        result = count_cliques(g, 4)
+        assert result.engine == "frontier"
+        assert result.engine_reason
+        explicit = count_cliques(g, 4, engine="reference")
+        assert explicit.engine == "reference"
+        assert "explicitly requested" in explicit.engine_reason
+
+    def test_engine_decision_is_a_string(self):
+        ctx = PreparedGraph(complete_graph(8))
+        decision = resolve_engine(ctx, 5, "best-work", True, None, NULL_TRACKER)
+        assert isinstance(decision, EngineDecision)
+        assert isinstance(decision, str)
+        assert decision == "frontier"
+        assert decision.reason

@@ -220,6 +220,7 @@ class TestEngineDispatch:
         g = clique_rich_graph()
         expected = count_cliques(g, 5, engine="reference").count
         assert count_cliques(g, 5, engine="bitset").count == expected
+        assert count_cliques(g, 5, engine="frontier").count == expected
         assert count_cliques(g, 5, engine="process", workers=1).count == expected
 
     def test_auto_picks_process_when_workers_requested(self):
@@ -230,20 +231,26 @@ class TestEngineDispatch:
             == "process"
         )
 
-    def test_auto_picks_bitset_only_multiword(self):
-        # K70: gamma = 68 -> two words -> the packed kernel pays off.
+    def test_auto_picks_frontier_for_default_counting(self):
+        # Recalibrated against measured crossovers: the level-synchronous
+        # engine wins every k >= 4 best-work regime, single- and
+        # multi-word candidate universes alike (the old multiword bitset
+        # auto-pick is retired; bitset stays explicit-request only).
         wide = PreparedGraph(complete_graph(70))
-        assert (
-            resolve_engine(wide, 4, "best-work", True, None, NULL_TRACKER)
-            == "bitset"
-        )
-        # K10: single word -> numpy call overhead dominates -> reference.
+        decision = resolve_engine(wide, 4, "best-work", True, None, NULL_TRACKER)
+        assert decision == "frontier"
+        assert decision.reason  # every decision states why
         narrow = PreparedGraph(complete_graph(10))
         assert (
             resolve_engine(narrow, 4, "best-work", True, None, NULL_TRACKER)
+            == "frontier"
+        )
+        # k < 4, non-default variant or disabled pruning: reference owns
+        # the direct answers and the instrumented ablations.
+        assert (
+            resolve_engine(wide, 3, "best-work", True, None, NULL_TRACKER)
             == "reference"
         )
-        # Non-default variant or disabled pruning: stay on reference.
         assert (
             resolve_engine(wide, 4, "hybrid", True, None, NULL_TRACKER)
             == "reference"

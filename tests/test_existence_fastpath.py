@@ -60,7 +60,12 @@ class TestHasCliqueIsAFastPath:
         existence_tracker = Tracker()
         counting_tracker = Tracker()
         assert has_clique(g, k, tracker=existence_tracker, prepared=ctx)
-        result = count_cliques(g, k, tracker=counting_tracker, prepared=ctx)
+        # Pin the reference engine: this test reads the search phase of
+        # the tracked work algebra, which the batch frontier engine (the
+        # auto pick for k >= 4 counting) deliberately skips.
+        result = count_cliques(
+            g, k, tracker=counting_tracker, prepared=ctx, engine="reference"
+        )
         assert result.count > 100  # the instance is clique-rich
         assert existence_tracker.work < 0.9 * counting_tracker.work
         # The witness search specifically must be far cheaper than the

@@ -118,9 +118,20 @@ class TestEngineIntegration:
         from repro.graphs import gnm_random_graph
         from repro.pram.tracker import Tracker
 
+        g = gnm_random_graph(40, 200, seed=1)
+
+        # Auto dispatch lands on the frontier engine for k >= 4 counting.
         tracker = Tracker()
         reg = tracker.attach_metrics(MetricsRegistry())
-        count_cliques(gnm_random_graph(40, 200, seed=1), 4, tracker=tracker)
+        count_cliques(g, 4, tracker=tracker)
+        names = set(reg.names())
+        assert "frontier.rounds" in names
+        assert "frontier.width" in names
+
+        # The reference engine keeps the search instrumentation.
+        tracker = Tracker()
+        reg = tracker.attach_metrics(MetricsRegistry())
+        count_cliques(g, 4, tracker=tracker, engine="reference")
         names = set(reg.names())
         assert "search.candidate_size" in names
         assert "search.probes" in names

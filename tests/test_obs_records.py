@@ -131,6 +131,36 @@ class TestCompare:
         report = compare_records(cur, base, tolerance=1e9)
         assert not report.ok and report.count_mismatches
 
+    def test_engine_mismatch_always_fatal(self):
+        # Same counts, same costs — but the cell was produced by a
+        # different resolved engine: the gate must refuse to compare.
+        base = _record()
+        cur = copy.deepcopy(base)
+        cur["entries"][0]["engine"] = "frontier"
+        report = compare_records(cur, base, tolerance=1e9)
+        assert not report.ok and report.engine_mismatches
+        assert "ENGINE MISMATCH" in report.summary()
+
+    def test_untagged_baseline_still_comparable(self):
+        # Committed baselines predating the engine field lack the tag;
+        # they must keep gating (the tag is enforced only when present
+        # on both sides).
+        base = _record()
+        for entry in base["entries"]:
+            entry.pop("engine", None)
+        assert validate_record(base) == []
+        cur = _record()
+        assert compare_records(cur, base).ok
+
+    def test_engine_tag_records_resolved_engine(self):
+        entry = _record()["entries"][0]
+        assert entry["engine"] == "reference"  # c3list runs run_variant
+
+    def test_engine_wrong_type_rejected(self):
+        rec = _record()
+        rec["entries"][0]["engine"] = 7
+        assert any(".engine must be str" in e for e in validate_record(rec))
+
     def test_matrix_growth_is_not_a_failure(self):
         base = _record()
         cur = copy.deepcopy(base)

@@ -96,11 +96,20 @@ class TestTrackerIntegration:
         from repro import count_cliques
         from repro.graphs import gnm_random_graph
 
+        g = gnm_random_graph(30, 120, seed=0)
         tracker = Tracker()
         rec = tracker.attach_spans(SpanRecorder())
-        count_cliques(gnm_random_graph(30, 120, seed=0), 4, tracker=tracker)
+        count_cliques(g, 4, tracker=tracker, engine="reference")
         names = {c.name for c in rec.finish().children}
         assert {"orientation", "communities", "search", "reduce"} <= names
+
+        # The auto pick (frontier for k >= 4 counting) rides the façade
+        # cache warmed above, so it charges only its own table build.
+        tracker = Tracker()
+        rec = tracker.attach_spans(SpanRecorder())
+        count_cliques(g, 4, tracker=tracker)
+        names = {c.name for c in rec.finish().children}
+        assert "bitrows" in names
 
 
 class TestExport:

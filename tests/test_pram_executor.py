@@ -52,6 +52,52 @@ class TestChunking:
             chunk_indices(5, 0)
 
 
+class TestWeightedChunking:
+    def test_weighted_blocks_cover_range_in_order(self):
+        w = np.arange(1, 51, dtype=float)
+        blocks = chunk_indices(50, 6, weights=w)
+        assert np.array_equal(np.concatenate(blocks), np.arange(50))
+
+    def test_heavy_head_is_isolated(self):
+        # One index carrying most of the weight should not drag half the
+        # range into its chunk the way a cardinality split would.
+        w = np.array([100.0] + [1.0] * 9)
+        blocks = chunk_indices(10, 2, weights=w)
+        assert blocks[0].tolist() == [0]
+        assert blocks[1].tolist() == list(range(1, 10))
+
+    def test_uniform_weights_stay_balanced(self):
+        # Equal weights must produce an (almost) even split — the same
+        # balance guarantee as the cardinality path, though cut points
+        # may differ by one index.
+        blocks = chunk_indices(100, 7, weights=np.ones(100))
+        sizes = [b.size for b in blocks]
+        assert len(blocks) == 7
+        assert max(sizes) - min(sizes) <= 1
+        assert np.array_equal(np.concatenate(blocks), np.arange(100))
+
+    def test_zero_total_weight_falls_back(self):
+        blocks = chunk_indices(12, 3, weights=np.zeros(12))
+        assert np.array_equal(np.concatenate(blocks), np.arange(12))
+        assert len(blocks) == 3
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_indices(5, 2, weights=np.ones(4))
+        with pytest.raises(ValueError):
+            chunk_indices(5, 2, weights=np.array([1.0, -1.0, 1.0, 1.0, 1.0]))
+
+    def test_map_reduce_result_invariant_under_weights(self):
+        plain = parallel_map_reduce(_square_sum, 200, n_workers=1)
+        skewed = parallel_map_reduce(
+            _square_sum,
+            200,
+            n_workers=1,
+            weights=np.linspace(100, 1, 200),
+        )
+        assert plain == skewed
+
+
 class TestWorkers:
     def test_one_worker_allowed(self):
         assert available_workers(1) == 1
