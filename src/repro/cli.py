@@ -13,6 +13,11 @@
   committed baseline (exit 3 on regression; see docs/OBSERVABILITY.md);
 * ``profile <graph> -k K`` — span tree + hot-loop metrics of one run;
 * ``selfcheck`` — fuzz every engine against each other + the oracle;
+* ``fuzz --budget N --seed S [--oracle NAME] [--emit-regression [DIR]]``
+  — the differential/metamorphic fuzzing subsystem: replayable seeded
+  cases, cross-engine + metamorphic oracles, delta-debugging shrinker,
+  auto-emitted pytest regressions (exit 4 on any violation; see
+  docs/FUZZING.md);
 * ``lint [paths]`` — the repo-aware static analysis (rules R1–R4).
 
 Graph files may be edge lists (``.txt``/``.edges``, SNAP format), Matrix
@@ -298,6 +303,36 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 2
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from .fuzz import run_fuzz
+    from .obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    report = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        oracles=args.oracle,
+        ks=tuple(args.k) if args.k else (4, 5),
+        max_vertices=args.max_n,
+        shrink=not args.no_shrink,
+        emit_dir=args.emit_regression,
+        artifact_dir=args.artifacts,
+        metrics=registry,
+        time_limit=args.time_limit,
+        verbose=args.verbose,
+    )
+    print(report.summary())
+    if args.out is not None:
+        payload = report.to_dict()
+        payload["metrics"] = registry.to_dict()
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"fuzz report written: {args.out}")
+    return 0 if report.ok else 4
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -433,6 +468,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_selfcheck)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential + metamorphic fuzzing of every engine "
+        "(exit 4 on violation)",
+    )
+    p.add_argument(
+        "--budget", type=int, default=100, help="number of generated cases"
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (replayable)")
+    p.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to specific oracles (repeatable; default: all — "
+        "see docs/FUZZING.md for the catalog)",
+    )
+    p.add_argument(
+        "-k",
+        type=int,
+        action="append",
+        help="clique size; repeatable (default: 4 and 5)",
+    )
+    p.add_argument(
+        "--max-n", type=int, default=26, help="largest case size in vertices"
+    )
+    p.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop drawing new cases after this many seconds",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging minimization of failing cases",
+    )
+    p.add_argument(
+        "--emit-regression",
+        nargs="?",
+        const=os.path.join("tests", "regressions"),
+        default=None,
+        metavar="DIR",
+        help="write a pytest regression per failure bucket "
+        "(default DIR: tests/regressions)",
+    )
+    p.add_argument(
+        "--artifacts",
+        default=None,
+        metavar="DIR",
+        help="write one JSON repro artifact per failure bucket",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="REPORT.json",
+        help="write the full machine-readable campaign report",
+    )
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("lint", help="repo-aware static analysis (rules R1-R4)")
     p.add_argument("paths", nargs="*", help="files/directories (default: src)")

@@ -1,0 +1,61 @@
+"""Differential & metamorphic fuzzing across the clique engines.
+
+The standing correctness harness every engine PR must pass:
+
+* :mod:`repro.fuzz.strategies` — seeded, replayable graph families,
+  mutators, and the hypothesis strategies shared with the property
+  tests;
+* :mod:`repro.fuzz.oracles` — the differential (cross-engine) and
+  metamorphic (relabel / union / deletion / planted / spectrum)
+  oracles;
+* :mod:`repro.fuzz.runner` — the budgeted campaign loop behind
+  ``repro fuzz``, with failure bucketing and ``fuzz.*`` metrics;
+* :mod:`repro.fuzz.shrink` — the delta-debugging minimizer and the
+  pytest-regression emitter feeding ``tests/regressions/``.
+
+See docs/FUZZING.md for the oracle catalog and the replay workflow.
+"""
+
+from .oracles import (
+    ORACLES,
+    count_perturbation,
+    run_oracle,
+    run_oracles,
+    set_count_perturbation,
+)
+from .runner import FuzzFailure, FuzzReport, run_fuzz
+from .shrink import emit_regression, format_regression, shrink_graph
+from .strategies import (
+    FAMILIES,
+    MUTATORS,
+    CaseSpec,
+    derive_seed,
+    edge_list,
+    family_cases,
+    graph_from_edge_list,
+    random_graphs,
+    sample_case,
+)
+
+__all__ = [
+    "CaseSpec",
+    "FAMILIES",
+    "FuzzFailure",
+    "FuzzReport",
+    "MUTATORS",
+    "ORACLES",
+    "count_perturbation",
+    "derive_seed",
+    "edge_list",
+    "emit_regression",
+    "family_cases",
+    "format_regression",
+    "graph_from_edge_list",
+    "random_graphs",
+    "run_fuzz",
+    "run_oracle",
+    "run_oracles",
+    "sample_case",
+    "set_count_perturbation",
+    "shrink_graph",
+]

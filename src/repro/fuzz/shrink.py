@@ -1,0 +1,191 @@
+"""Greedy delta-debugging minimizer for failing fuzz cases.
+
+Given a graph on which some oracle fails, :func:`shrink_graph` removes
+vertex blocks and edge blocks (halving block sizes, ddmin-style) while
+the failure persists, iterating to a fixpoint — the result is *1-minimal*
+with respect to the tried deletions and, because every step is
+deterministic, shrinking an already-shrunk graph is the identity.
+
+:func:`format_regression` / :func:`emit_regression` turn the minimized
+case into a ready-to-paste pytest module for ``tests/regressions/``: the
+emitted test asserts the oracle *holds* (so it fails while the bug is
+alive and passes — and guards — once it is fixed).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .strategies import edge_list, graph_from_edge_list
+
+__all__ = [
+    "emit_regression",
+    "format_regression",
+    "shrink_graph",
+]
+
+FailingFn = Callable[[CSRGraph], bool]
+
+
+def _drop_vertices(graph: CSRGraph, failing: FailingFn) -> Tuple[CSRGraph, bool]:
+    """One vertex pass: remove blocks of vertices while the failure holds."""
+    current = graph
+    shrunk = False
+    chunk = max(current.num_vertices // 2, 1)
+    while chunk >= 1:
+        start = 0
+        while start < current.num_vertices:
+            n = current.num_vertices
+            keep = np.concatenate(
+                [np.arange(0, start), np.arange(min(start + chunk, n), n)]
+            )
+            if keep.size == n or keep.size == 0:
+                start += chunk
+                continue
+            candidate, _ = current.subgraph(keep)
+            if failing(candidate):
+                current = candidate
+                shrunk = True
+                # Re-test the same position: the block now holds new ids.
+            else:
+                start += chunk
+        chunk //= 2
+    return current, shrunk
+
+
+def _drop_edges(graph: CSRGraph, failing: FailingFn) -> Tuple[CSRGraph, bool]:
+    """One edge pass: remove blocks of edges while the failure holds."""
+    current = graph
+    shrunk = False
+    chunk = max(current.num_edges // 2, 1)
+    while chunk >= 1:
+        start = 0
+        while start < current.num_edges:
+            pairs = edge_list(current)
+            kept = pairs[:start] + pairs[start + chunk :]
+            if len(kept) == len(pairs):
+                start += chunk
+                continue
+            candidate = graph_from_edge_list(kept, current.num_vertices)
+            if failing(candidate):
+                current = candidate
+                shrunk = True
+            else:
+                start += chunk
+        chunk //= 2
+    return current, shrunk
+
+
+def shrink_graph(
+    graph: CSRGraph,
+    failing: FailingFn,
+    max_rounds: int = 16,
+) -> CSRGraph:
+    """Minimize ``graph`` while ``failing(graph)`` stays true.
+
+    Alternates vertex-block and edge-block deletion passes until neither
+    makes progress (or ``max_rounds`` is hit). If the input does not fail
+    to begin with it is returned unchanged — the caller's predicate is
+    authoritative, never re-derived here.
+    """
+    if not failing(graph):
+        return graph
+    current = graph
+    for _ in range(max_rounds):
+        current, dropped_v = _drop_vertices(current, failing)
+        current, dropped_e = _drop_edges(current, failing)
+        if not (dropped_v or dropped_e):
+            break
+    return current
+
+
+# -- pytest regression emission -------------------------------------------
+
+
+def _fingerprint(graph: CSRGraph, k: int, oracle: str) -> str:
+    us, vs = graph.edge_array()
+    payload = f"{oracle}:{k}:{graph.num_vertices}:" + ",".join(
+        f"{int(u)}-{int(v)}" for u, v in zip(us.tolist(), vs.tolist())
+    )
+    return f"{zlib.crc32(payload.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def format_regression(
+    graph: CSRGraph,
+    k: int,
+    oracle: str,
+    oracle_seed: int = 0,
+    note: str = "",
+) -> Tuple[str, str]:
+    """Render a shrunk case as a pytest module; returns (slug, source).
+
+    The module is self-contained (inline edge list, no fixtures) and
+    asserts ``run_oracle(...) == []`` — the passing form that documents
+    the *fixed* behavior.
+    """
+    slug = f"{oracle.replace('-', '_')}_k{k}_{_fingerprint(graph, k, oracle)}"
+    pairs = edge_list(graph)
+    rows = "\n".join(f"    ({u}, {v})," for u, v in pairs)
+    edges_block = f"EDGES = [\n{rows}\n]" if pairs else "EDGES = []"
+    note_line = f"\n{note}\n" if note else ""
+    source = f'''"""Auto-emitted by `repro fuzz` — minimized repro, oracle {oracle!r}.
+{note_line}
+Replay:  PYTHONPATH=src python -m pytest {{this file}} -q
+Shrunk to {graph.num_vertices} vertices / {graph.num_edges} edges by
+repro.fuzz.shrink; the assertion is the oracle itself, so this test
+fails while the original bug is alive and guards against it afterwards.
+"""
+
+import numpy as np
+
+from repro.fuzz.oracles import run_oracle
+from repro.graphs import from_edges
+
+ORACLE = {oracle!r}
+K = {k}
+ORACLE_SEED = {oracle_seed}
+NUM_VERTICES = {graph.num_vertices}
+{edges_block}
+
+
+def test_fuzz_regression_{slug}():
+    graph = from_edges(
+        np.asarray(EDGES, dtype=np.int64).reshape(-1, 2),
+        num_vertices=NUM_VERTICES,
+    )
+    assert run_oracle(ORACLE, graph, K, seed=ORACLE_SEED) == []
+'''
+    return slug, source
+
+
+def emit_regression(
+    directory: str,
+    graph: CSRGraph,
+    k: int,
+    oracle: str,
+    oracle_seed: int = 0,
+    note: str = "",
+) -> Optional[str]:
+    """Write the rendered regression into ``directory``; returns its path.
+
+    Filenames embed a content fingerprint, so re-running the fuzzer on
+    the same failure overwrites its own file instead of accumulating
+    duplicates. Returns ``None`` if an identical file already exists.
+    """
+    slug, source = format_regression(
+        graph, k, oracle, oracle_seed=oracle_seed, note=note
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"test_fuzz_regression_{slug}.py")
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as fh:
+            if fh.read() == source:
+                return None
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(source)
+    return path

@@ -1,0 +1,407 @@
+"""Seeded graph strategies shared by the fuzzer and the property suites.
+
+One source of truth for "give me a small interesting graph":
+
+* the hypothesis property tests draw arbitrary edge sets through
+  :func:`random_graphs` (previously copy-pasted as a ``@st.composite``
+  helper across five test modules);
+* the differential fuzzer samples *named families* — planted cliques,
+  banded/Chebyshev, Kneser, caveman, collaboration, degeneracy-targeted
+  growth — through :class:`CaseSpec`, a JSON-serializable recipe
+  (family name + params + mutation trail) that rebuilds its graph
+  byte-identically, so every fuzz failure replays from one line of JSON.
+
+Every random choice flows through an explicitly seeded
+``numpy.random.default_rng`` (never process-global state); child seeds
+are drawn from the parent stream, so one fuzz seed determines the whole
+campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..graphs.builder import complete_graph, from_edges
+from ..graphs.csr import CSRGraph
+from ..graphs.generators import (
+    banded_graph,
+    bipartite_plus_line_graph,
+    clique_chain,
+    collaboration_graph,
+    core_periphery_graph,
+    gnm_random_graph,
+    hypercube_graph,
+    kneser_graph,
+    plant_cliques,
+    relaxed_caveman_graph,
+    turan_graph,
+)
+
+__all__ = [
+    "CaseSpec",
+    "FAMILIES",
+    "MUTATORS",
+    "build_family",
+    "degeneracy_growth_graph",
+    "derive_seed",
+    "edge_list",
+    "family_cases",
+    "graph_from_edge_list",
+    "mutate_add_edges",
+    "mutate_delete_edges",
+    "mutate_rewire_edges",
+    "random_graphs",
+    "sample_case",
+]
+
+
+def derive_seed(parent: int, *tags) -> int:
+    """A stable child seed from a parent seed and any hashable tags.
+
+    CRC-based (not Python ``hash``) so the derivation survives hash
+    randomization across interpreter runs — the replay contract.
+    """
+    text = ":".join([str(parent)] + [str(t) for t in tags])
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+
+
+# -- edge-list round trip (the repro-artifact wire format) -----------------
+
+
+def edge_list(graph: CSRGraph) -> List[Tuple[int, int]]:
+    """The graph's undirected edges as sorted (u, v) pairs, u < v."""
+    us, vs = graph.edge_array()
+    return sorted(zip(us.tolist(), vs.tolist()))
+
+
+def graph_from_edge_list(edges, num_vertices: int) -> CSRGraph:
+    """Rebuild a graph from :func:`edge_list` output (JSON round trip)."""
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    return from_edges(arr, num_vertices=num_vertices)
+
+
+# -- named families --------------------------------------------------------
+
+
+def degeneracy_growth_graph(n: int, target: int, seed: int) -> CSRGraph:
+    """Grow an exactly ``target``-degenerate graph on ``n`` vertices.
+
+    Starts from a (target+1)-clique and attaches each further vertex to
+    ``target`` distinct random predecessors — the canonical construction
+    of a graph whose degeneracy equals ``target`` while the rest of the
+    structure stays random. Exercises the orders/orientation stack at a
+    *chosen* degeneracy instead of whatever G(n, m) happens to produce.
+    """
+    if target < 1 or n < target + 1:
+        raise ValueError("need n >= target + 1 >= 2")
+    rng = np.random.default_rng(seed)
+    seed_clique = complete_graph(target + 1)
+    us, vs = seed_clique.edge_array()
+    edges = list(zip(us.tolist(), vs.tolist()))
+    for v in range(target + 1, n):
+        for u in rng.choice(v, size=target, replace=False).tolist():
+            edges.append((int(u), v))
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+@dataclass(frozen=True)
+class _Family:
+    """One named generator: a builder plus a seeded parameter sampler."""
+
+    build: Callable[..., CSRGraph]
+    sample: Callable[[np.random.Generator, int], Dict[str, Any]]
+
+
+def _sample_gnm(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    n = int(rng.integers(4, max_n + 1))
+    max_m = n * (n - 1) // 2
+    m = int(rng.integers(n, max(max_m * 2 // 3, n + 1)))
+    return {"n": n, "m": min(m, max_m), "seed": int(rng.integers(2**31))}
+
+
+def _build_planted(n: int, m: int, sizes: List[int], seed: int) -> CSRGraph:
+    base = gnm_random_graph(n, m, seed=derive_seed(seed, "base"))
+    grown, _ = plant_cliques(base, sizes, seed=derive_seed(seed, "plant"))
+    return grown
+
+
+def _sample_planted(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    n = int(rng.integers(10, max(max_n, 12) + 1))
+    sizes = [int(rng.integers(4, min(n // 2, 8) + 1))]
+    if rng.random() < 0.4 and sum(sizes) + 4 <= n:
+        sizes.append(int(rng.integers(3, 6)))
+    m = int(rng.integers(n, n * 3))
+    return {
+        "n": n,
+        "m": min(m, n * (n - 1) // 2),
+        "sizes": sizes,
+        "seed": int(rng.integers(2**31)),
+    }
+
+
+def _sample_banded(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    n = int(rng.integers(6, max_n + 1))
+    return {"n": n, "bandwidth": int(rng.integers(2, min(n, 7)))}
+
+
+def _sample_kneser(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    # K(ground, subset) has C(ground, subset) vertices; keep it small.
+    ground, subset = [(5, 2), (6, 2), (7, 3), (6, 3)][int(rng.integers(4))]
+    return {"ground": ground, "subset": subset}
+
+
+def _sample_turan(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    n = int(rng.integers(6, min(max_n, 18) + 1))
+    return {"n": n, "r": int(rng.integers(2, 6))}
+
+
+def _sample_caveman(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    size = int(rng.integers(3, 6))
+    caves = max(2, min(4, max_n // size))
+    return {
+        "n_cliques": caves,
+        "clique_size": size,
+        "p_rewire": float(rng.uniform(0.0, 0.3)),
+        "seed": int(rng.integers(2**31)),
+    }
+
+
+def _sample_collab(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    n = int(rng.integers(10, max_n + 1))
+    return {
+        "n": n,
+        "n_groups": int(rng.integers(3, n)),
+        "max_group": 8,
+        "seed": int(rng.integers(2**31)),
+    }
+
+
+def _sample_core_periphery(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    core = int(rng.integers(4, min(max_n // 2, 10) + 1))
+    return {
+        "n_core": core,
+        "n_periphery": int(rng.integers(0, max_n - core + 1)),
+        "p_core": float(rng.uniform(0.4, 0.9)),
+        "attach": int(rng.integers(1, 4)),
+        "seed": int(rng.integers(2**31)),
+    }
+
+
+def _sample_hypercube(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    return {"dim": int(rng.integers(2, 5))}
+
+
+def _sample_bipartite_line(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    return {"half": int(rng.integers(2, max(max_n // 2, 3) + 1))}
+
+
+def _sample_clique_chain(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    size = int(rng.integers(3, 7))
+    return {
+        "n_cliques": int(rng.integers(2, 5)),
+        "clique_size": size,
+        "overlap": int(rng.integers(0, size - 1)),
+    }
+
+
+def _sample_growth(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    target = int(rng.integers(2, 7))
+    n = int(rng.integers(target + 2, max(max_n, target + 3) + 1))
+    return {"n": n, "target": target, "seed": int(rng.integers(2**31))}
+
+
+FAMILIES: Dict[str, _Family] = {
+    "gnm": _Family(gnm_random_graph, _sample_gnm),
+    "planted": _Family(_build_planted, _sample_planted),
+    "banded": _Family(banded_graph, _sample_banded),
+    "kneser": _Family(kneser_graph, _sample_kneser),
+    "turan": _Family(turan_graph, _sample_turan),
+    "caveman": _Family(relaxed_caveman_graph, _sample_caveman),
+    "collaboration": _Family(collaboration_graph, _sample_collab),
+    "core-periphery": _Family(core_periphery_graph, _sample_core_periphery),
+    "hypercube": _Family(hypercube_graph, _sample_hypercube),
+    "bipartite-line": _Family(bipartite_plus_line_graph, _sample_bipartite_line),
+    "clique-chain": _Family(clique_chain, _sample_clique_chain),
+    "degeneracy-growth": _Family(degeneracy_growth_graph, _sample_growth),
+}
+
+
+def build_family(name: str, params: Dict[str, Any]) -> CSRGraph:
+    """Build one named family instance from its JSON-able parameters."""
+    if name not in FAMILIES:
+        raise ValueError(f"unknown family {name!r}; choose from {sorted(FAMILIES)}")
+    return FAMILIES[name].build(**params)
+
+
+# -- seeded mutators -------------------------------------------------------
+
+
+def mutate_add_edges(graph: CSRGraph, count: int, seed: int) -> CSRGraph:
+    """Add up to ``count`` uniformly random non-edges (seeded)."""
+    n = graph.num_vertices
+    if n < 2 or count < 1:
+        return graph
+    rng = np.random.default_rng(seed)
+    existing = set(edge_list(graph))
+    added: List[Tuple[int, int]] = []
+    # Bounded rejection sampling: dense graphs simply gain fewer edges.
+    for _ in range(count * 8):
+        if len(added) >= count:
+            break
+        u, v = (int(x) for x in rng.integers(0, n, size=2))
+        if u == v:
+            continue
+        pair = (min(u, v), max(u, v))
+        if pair in existing:
+            continue
+        existing.add(pair)
+        added.append(pair)
+    if not added:
+        return graph
+    combined = sorted(existing)
+    return graph_from_edge_list(combined, n)
+
+
+def mutate_delete_edges(graph: CSRGraph, count: int, seed: int) -> CSRGraph:
+    """Delete ``count`` uniformly random edges (seeded)."""
+    pairs = edge_list(graph)
+    if not pairs or count < 1:
+        return graph
+    rng = np.random.default_rng(seed)
+    drop = set(
+        int(i)
+        for i in rng.choice(len(pairs), size=min(count, len(pairs)), replace=False)
+    )
+    kept = [p for i, p in enumerate(pairs) if i not in drop]
+    return graph_from_edge_list(kept, graph.num_vertices)
+
+
+def mutate_rewire_edges(graph: CSRGraph, count: int, seed: int) -> CSRGraph:
+    """Rewire ``count`` edges: delete them, then add as many elsewhere."""
+    shrunk = mutate_delete_edges(graph, count, derive_seed(seed, "del"))
+    return mutate_add_edges(shrunk, count, derive_seed(seed, "add"))
+
+
+MUTATORS: Dict[str, Callable[..., CSRGraph]] = {
+    "add-edges": mutate_add_edges,
+    "delete-edges": mutate_delete_edges,
+    "rewire-edges": mutate_rewire_edges,
+}
+
+
+# -- replayable case specs -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """A fully seeded recipe for one fuzz input graph.
+
+    ``build()`` is a pure function of the spec: the same spec always
+    reconstructs the same CSR arrays, which is what lets a one-line JSON
+    artifact replay any failure. Mutations are an ordered trail of
+    ``(mutator name, params)`` applied after the family builder.
+    """
+
+    family: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    mutations: Tuple[Tuple[str, Dict[str, Any]], ...] = ()
+
+    def build(self) -> CSRGraph:
+        graph = build_family(self.family, self.params)
+        for op, op_params in self.mutations:
+            if op not in MUTATORS:
+                raise ValueError(f"unknown mutator {op!r}")
+            graph = MUTATORS[op](graph, **op_params)
+        return graph
+
+    def label(self) -> str:
+        parts = [self.family] + [op for op, _ in self.mutations]
+        return "+".join(parts)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "family": self.family,
+                "params": self.params,
+                "mutations": [[op, p] for op, p in self.mutations],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CaseSpec":
+        data = json.loads(text)
+        return cls(
+            family=data["family"],
+            params=dict(data["params"]),
+            mutations=tuple((op, dict(p)) for op, p in data["mutations"]),
+        )
+
+
+def sample_case(
+    rng: np.random.Generator,
+    max_vertices: int = 26,
+    mutation_rate: float = 0.45,
+) -> CaseSpec:
+    """Draw one replayable case: a family plus an optional mutation trail."""
+    names = sorted(FAMILIES)
+    family = names[int(rng.integers(len(names)))]
+    params = FAMILIES[family].sample(rng, max_vertices)
+    mutations: List[Tuple[str, Dict[str, Any]]] = []
+    if rng.random() < mutation_rate:
+        ops = sorted(MUTATORS)
+        for _ in range(int(rng.integers(1, 3))):
+            op = ops[int(rng.integers(len(ops)))]
+            mutations.append(
+                (
+                    op,
+                    {
+                        "count": int(rng.integers(1, 5)),
+                        "seed": int(rng.integers(2**31)),
+                    },
+                )
+            )
+    return CaseSpec(family=family, params=params, mutations=tuple(mutations))
+
+
+# -- hypothesis strategies (lazy import: the CLI path needs no hypothesis) --
+
+
+def random_graphs(max_n: int = 16, min_n: int = 2):
+    """Hypothesis strategy for small arbitrary graphs.
+
+    The shared replacement for the ``@st.composite`` helper that used to
+    be duplicated across the property test modules. Returns a strategy
+    producing :class:`CSRGraph` values with ``min_n <= n <= max_n``
+    vertices and an arbitrary subset of the possible edges.
+    """
+    from hypothesis import strategies as st
+
+    if min_n < 2:
+        raise ValueError("need min_n >= 2 (a 0/1-vertex graph has no edges)")
+
+    @st.composite
+    def _graphs(draw):
+        n = draw(st.integers(min_value=min_n, max_value=max_n))
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = draw(
+            st.lists(st.sampled_from(possible), min_size=0, max_size=len(possible))
+        )
+        edges = np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2)
+        return from_edges(edges, num_vertices=n)
+
+    return _graphs()
+
+
+def family_cases(max_vertices: int = 26):
+    """Hypothesis strategy for :class:`CaseSpec` values (seeded families)."""
+    from hypothesis import strategies as st
+
+    return st.integers(min_value=0, max_value=2**31 - 1).map(
+        lambda seed: sample_case(np.random.default_rng(seed), max_vertices)
+    )

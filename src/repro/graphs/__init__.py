@@ -19,6 +19,7 @@ from .generators import (
     clique_chain,
     gnm_random_graph,
     hypercube_graph,
+    kneser_graph,
     mesh_graph_3d,
     plant_cliques,
     powerlaw_cluster_graph,
@@ -51,6 +52,7 @@ __all__ = [
     "clique_chain",
     "turan_graph",
     "banded_graph",
+    "kneser_graph",
     "collaboration_graph",
     "core_periphery_graph",
     "read_edge_list",

@@ -31,12 +31,25 @@ __all__ = [
     "clique_chain",
     "turan_graph",
     "banded_graph",
+    "kneser_graph",
     "collaboration_graph",
     "core_periphery_graph",
 ]
 
 
-def _rng(seed: Optional[int]) -> np.random.Generator:
+def _rng(seed) -> np.random.Generator:
+    """Seed → fresh ``default_rng``; a ``Generator`` passes through.
+
+    Every randomized generator in this module routes its ``seed=``
+    through here and *only* here — never the process-global
+    ``np.random`` state — so the same seed rebuilds the same graph
+    byte-identically (the fuzz subsystem's replay contract). Passing an
+    existing :class:`numpy.random.Generator` lets callers derive whole
+    graph families from one parent stream (``SeedSequence``-style)
+    without re-seeding per call.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
     return np.random.default_rng(seed)
 
 
@@ -435,6 +448,31 @@ def banded_graph(n: int, bandwidth: int) -> CSRGraph:
     if not parts:
         return empty_graph(n)
     return from_edges(np.concatenate(parts, axis=0), num_vertices=n)
+
+
+def kneser_graph(ground: int, subset: int) -> CSRGraph:
+    """Kneser graph K(ground, subset): k-subsets adjacent iff disjoint.
+
+    A classic adversarial family for clique search: K(n, s) is vertex-
+    transitive, K(5, 2) is the Petersen graph, and its clique number is
+    exactly ``floor(n / s)`` (a maximum clique is a partition of a
+    ``floor(n/s)·s``-subset into pairwise-disjoint s-sets), so oracle
+    expectations are closed-form. Triangle-free whenever ``n < 3s``.
+    """
+    if ground < 1 or subset < 1 or subset > ground:
+        raise ValueError("need 1 <= subset <= ground")
+    subsets = [
+        frozenset(c) for c in itertools.combinations(range(ground), subset)
+    ]
+    edges = [
+        (i, j)
+        for i in range(len(subsets))
+        for j in range(i + 1, len(subsets))
+        if not (subsets[i] & subsets[j])
+    ]
+    if not edges:
+        return empty_graph(len(subsets))
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=len(subsets))
 
 
 def collaboration_graph(

@@ -1,0 +1,37 @@
+"""Auto-emitted by `repro fuzz` — minimized repro, oracle 'engines'.
+
+Historical example: emitted while an off-by-one was injected
+into the frontier engine (see tests/test_fuzz_runner.py); kept
+as a living sample of the auto-emitted format.
+
+Replay:  PYTHONPATH=src python -m pytest {this file} -q
+Shrunk to 4 vertices / 6 edges by
+repro.fuzz.shrink; the assertion is the oracle itself, so this test
+fails while the original bug is alive and guards against it afterwards.
+"""
+
+import numpy as np
+
+from repro.fuzz.oracles import run_oracle
+from repro.graphs import from_edges
+
+ORACLE = 'engines'
+K = 4
+ORACLE_SEED = 0
+NUM_VERTICES = 4
+EDGES = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (1, 2),
+    (1, 3),
+    (2, 3),
+]
+
+
+def test_fuzz_regression_engines_k4_c29ceeb8():
+    graph = from_edges(
+        np.asarray(EDGES, dtype=np.int64).reshape(-1, 2),
+        num_vertices=NUM_VERTICES,
+    )
+    assert run_oracle(ORACLE, graph, K, seed=ORACLE_SEED) == []

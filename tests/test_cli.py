@@ -160,3 +160,42 @@ class TestErrors:
     def test_bad_k(self, edge_file, capsys):
         path, _ = edge_file
         assert main(["count", path, "-k", "0"]) == 1
+
+
+class TestFuzz:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--budget", "4", "--seed", "0",
+                     "--oracle", "engines", "-k", "4", "--max-n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz OK" in out and "4 cases" in out
+
+    def test_out_report_includes_metrics(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "report.json"
+        assert main(["fuzz", "--budget", "3", "--oracle", "relabel",
+                     "-k", "4", "--max-n", "12", "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["ok"] is True
+        assert payload["cases"] == 3
+        assert payload["metrics"]["fuzz.cases"]["value"] == 3
+
+    def test_violation_exits_four_and_emits(self, tmp_path, capsys):
+        from repro.fuzz.oracles import count_perturbation
+
+        def lie(engine, graph, k, true_count):
+            return true_count + 1 if engine == "frontier" and true_count > 0 else true_count
+
+        emit_dir = tmp_path / "regressions"
+        with count_perturbation(lie):
+            code = main(["fuzz", "--budget", "30", "--seed", "0",
+                         "--oracle", "engines", "-k", "4", "--max-n", "14",
+                         "--emit-regression", str(emit_dir)])
+        assert code == 4
+        out = capsys.readouterr().out
+        assert "fuzz FAILED" in out and "VIOLATION" in out
+        assert list(emit_dir.glob("test_fuzz_regression_*.py"))
+
+    def test_unknown_oracle_is_an_error(self, capsys):
+        assert main(["fuzz", "--budget", "1", "--oracle", "nope"]) == 1
+        assert "unknown oracle" in capsys.readouterr().err

@@ -24,6 +24,7 @@ from repro.core.frontier import (
     frontier_list_cliques,
 )
 from repro.core.prepared import PreparedGraph
+from repro.fuzz.strategies import random_graphs
 from repro.graphs import complete_graph, from_edges, gnm_random_graph
 from repro.obs import MetricsRegistry
 from repro.pram.tracker import NULL_TRACKER, Tracker
@@ -34,16 +35,6 @@ SETTINGS = dict(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 
-
-@st.composite
-def random_graphs(draw, max_n=16):
-    n = draw(st.integers(min_value=2, max_value=max_n))
-    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    chosen = draw(
-        st.lists(st.sampled_from(possible), min_size=0, max_size=len(possible))
-    )
-    edges = np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2)
-    return from_edges(edges, num_vertices=n)
 
 
 @given(g=random_graphs(), k=st.integers(min_value=4, max_value=6))

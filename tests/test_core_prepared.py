@@ -34,6 +34,7 @@ from repro.core import (
     run_variant,
 )
 from repro.core.prepared import EDGE_ORDER_KINDS, ORDER_VARIANTS, PreparedCache
+from repro.fuzz.strategies import random_graphs
 from repro.graphs import complete_graph, from_edges, gnm_random_graph
 from repro.graphs.generators import plant_cliques
 from repro.obs import MetricsRegistry
@@ -45,16 +46,6 @@ SETTINGS = dict(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 
-
-@st.composite
-def random_graphs(draw, max_n=14):
-    n = draw(st.integers(min_value=2, max_value=max_n))
-    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    chosen = draw(
-        st.lists(st.sampled_from(possible), min_size=0, max_size=len(possible))
-    )
-    edges = np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2)
-    return from_edges(edges, num_vertices=n)
 
 
 def clique_rich_graph():
@@ -111,7 +102,7 @@ class TestPieceMemoization:
 
 
 class TestWarmEqualsCold:
-    @given(g=random_graphs(), k=st.integers(min_value=1, max_value=6))
+    @given(g=random_graphs(max_n=14), k=st.integers(min_value=1, max_value=6))
     @settings(**SETTINGS)
     def test_counts_and_listings_all_variants(self, g, k):
         ctx = PreparedGraph(g)
@@ -123,7 +114,7 @@ class TestWarmEqualsCold:
             assert warm.count == cold.count, variant
             assert warm.cliques == cold.cliques, variant
 
-    @given(g=random_graphs(), k=st.integers(min_value=3, max_value=6))
+    @given(g=random_graphs(max_n=14), k=st.integers(min_value=3, max_value=6))
     @settings(**SETTINGS)
     def test_every_engine_agrees_on_a_shared_context(self, g, k):
         ctx = PreparedGraph(g)

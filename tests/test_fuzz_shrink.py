@@ -1,0 +1,160 @@
+"""The delta-debugging shrinker and the pytest-regression emitter."""
+
+import importlib.util
+import sys
+
+import numpy as np
+import pytest
+
+from repro.fuzz.oracles import count_perturbation, run_oracle
+from repro.fuzz.shrink import emit_regression, format_regression, shrink_graph
+from repro.fuzz.strategies import edge_list, graph_from_edge_list
+from repro.graphs import complete_graph
+from repro.graphs.generators import gnm_random_graph, plant_cliques
+
+
+def _count4(graph) -> int:
+    from repro.core.frontier import frontier_count_cliques
+
+    return frontier_count_cliques(graph, 4)
+
+
+class TestShrinkGraph:
+    def test_non_failing_input_is_returned_unchanged(self):
+        g = complete_graph(6)
+        assert shrink_graph(g, lambda _: False) is g
+
+    def test_shrinks_to_k4_kernel(self):
+        # Predicate: "graph still has a 4-clique". The 1-minimal answer is
+        # K4 itself — 4 vertices, 6 edges.
+        base = gnm_random_graph(20, 40, seed=5)
+        grown, _ = plant_cliques(base, [6], seed=6)
+        assert _count4(grown) > 0
+        small = shrink_graph(grown, lambda g: _count4(g) > 0)
+        assert small.num_vertices == 4
+        assert small.num_edges == 6
+
+    def test_idempotent(self):
+        base = gnm_random_graph(18, 36, seed=9)
+        grown, _ = plant_cliques(base, [5], seed=10)
+        predicate = lambda g: _count4(g) > 0  # noqa: E731
+        once = shrink_graph(grown, predicate)
+        twice = shrink_graph(once, predicate)
+        assert twice.num_vertices == once.num_vertices
+        assert edge_list(twice) == edge_list(once)
+
+    def test_deterministic(self):
+        base = gnm_random_graph(16, 30, seed=2)
+        grown, _ = plant_cliques(base, [5], seed=3)
+        predicate = lambda g: _count4(g) > 0  # noqa: E731
+        a = shrink_graph(grown, predicate)
+        b = shrink_graph(grown, predicate)
+        assert edge_list(a) == edge_list(b)
+        assert a.num_vertices == b.num_vertices
+
+    def test_edge_only_shrinking(self):
+        # Predicate keyed to an edge, not a clique: vertex passes can't
+        # remove endpoints, edge passes strip everything else.
+        g = graph_from_edge_list(
+            [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)], 6
+        )
+        small = shrink_graph(g, lambda h: h.num_edges >= 1)
+        assert small.num_edges == 1
+
+
+class TestFormatRegression:
+    def test_source_is_self_contained_and_passing_form(self):
+        g = complete_graph(4)
+        slug, source = format_regression(g, 4, "engines", oracle_seed=17)
+        assert f"test_fuzz_regression_{slug}" in source
+        assert "ORACLE = 'engines'" in source
+        assert "K = 4" in source
+        assert "ORACLE_SEED = 17" in source
+        assert "NUM_VERTICES = 4" in source
+        assert "run_oracle(ORACLE, graph, K, seed=ORACLE_SEED) == []" in source
+        compile(source, "<regression>", "exec")  # must be valid python
+
+    def test_note_is_embedded(self):
+        _, source = format_regression(
+            complete_graph(4), 4, "union", note="Found by case XYZ"
+        )
+        assert "Found by case XYZ" in source
+
+    def test_slug_depends_on_content(self):
+        a, _ = format_regression(complete_graph(4), 4, "engines")
+        b, _ = format_regression(complete_graph(5), 4, "engines")
+        c, _ = format_regression(complete_graph(4), 5, "engines")
+        assert len({a, b, c}) == 3
+
+    def test_empty_graph_renders(self):
+        _, source = format_regression(graph_from_edge_list([], 3), 4, "spectrum")
+        assert "EDGES = []" in source
+        compile(source, "<regression>", "exec")
+
+
+class TestEmitRegression:
+    def test_writes_then_dedupes(self, tmp_path):
+        g = complete_graph(4)
+        first = emit_regression(str(tmp_path), g, 4, "engines")
+        assert first is not None and first.endswith(".py")
+        # identical content -> None, nothing new on disk
+        assert emit_regression(str(tmp_path), g, 4, "engines") is None
+        assert len(list(tmp_path.glob("test_fuzz_regression_*.py"))) == 1
+
+    def test_distinct_cases_get_distinct_files(self, tmp_path):
+        emit_regression(str(tmp_path), complete_graph(4), 4, "engines")
+        emit_regression(str(tmp_path), complete_graph(5), 4, "engines")
+        assert len(list(tmp_path.glob("test_fuzz_regression_*.py"))) == 2
+
+
+class TestEmittedRegressionEndToEnd:
+    """Meta-test: emit a real regression under an injected bug, import it,
+    and run its test function — it must fail while the bug is alive and
+    pass once the perturbation is cleared."""
+
+    def _lie(self, engine, graph, k, true_count):
+        return true_count + 1 if engine == "frontier" and true_count > 0 else true_count
+
+    def test_emitted_module_runs(self, tmp_path):
+        base = gnm_random_graph(16, 32, seed=21)
+        grown, _ = plant_cliques(base, [5], seed=22)
+
+        with count_perturbation(self._lie):
+            assert run_oracle("engines", grown, 4) != []
+            small = shrink_graph(
+                grown, lambda g: bool(run_oracle("engines", g, 4))
+            )
+            assert small.num_vertices <= 12
+            path = emit_regression(str(tmp_path), small, 4, "engines")
+        assert path is not None
+
+        spec = importlib.util.spec_from_file_location("emitted_regression", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["emitted_regression"] = module
+        try:
+            spec.loader.exec_module(module)
+            test_fns = [
+                getattr(module, name)
+                for name in dir(module)
+                if name.startswith("test_fuzz_regression_")
+            ]
+            assert len(test_fns) == 1
+            # Bug alive: the emitted assertion (oracle holds) must fail.
+            with count_perturbation(self._lie):
+                with pytest.raises(AssertionError):
+                    test_fns[0]()
+            # Bug fixed (hook cleared): the regression passes and guards.
+            test_fns[0]()
+        finally:
+            sys.modules.pop("emitted_regression", None)
+
+    def test_emitted_edges_match_the_shrunk_graph(self, tmp_path):
+        g = complete_graph(4)
+        path = emit_regression(str(tmp_path), g, 4, "engines")
+        text = open(path, encoding="utf-8").read()
+        namespace = {}
+        exec(compile(text, path, "exec"), namespace)  # noqa: S102
+        rebuilt = graph_from_edge_list(
+            np.asarray(namespace["EDGES"]), namespace["NUM_VERTICES"]
+        )
+        assert edge_list(rebuilt) == edge_list(g)

@@ -1,0 +1,160 @@
+"""The shared strategy library: replayable specs, mutators, strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.fuzz.strategies import (
+    FAMILIES,
+    MUTATORS,
+    CaseSpec,
+    build_family,
+    degeneracy_growth_graph,
+    derive_seed,
+    edge_list,
+    graph_from_edge_list,
+    mutate_add_edges,
+    mutate_delete_edges,
+    mutate_rewire_edges,
+    random_graphs,
+    sample_case,
+)
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_every_family_samples_and_builds(self, family):
+        rng = np.random.default_rng(0)
+        params = FAMILIES[family].sample(rng, 20)
+        g = build_family(family, params)
+        assert g.num_vertices >= 1
+        # params must round-trip through JSON (the artifact wire format)
+        import json
+
+        assert json.loads(json.dumps(params)) == params
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            build_family("nope", {})
+
+    def test_degeneracy_growth_hits_its_target(self):
+        from repro.orders import degeneracy_order
+
+        g = degeneracy_growth_graph(20, 4, seed=3)
+        assert degeneracy_order(g).degeneracy == 4
+
+    def test_degeneracy_growth_invalid(self):
+        with pytest.raises(ValueError):
+            degeneracy_growth_graph(3, 4, seed=0)
+
+
+class TestCaseSpecReplay:
+    def test_build_is_deterministic(self):
+        rng = np.random.default_rng(42)
+        for _ in range(30):
+            spec = sample_case(rng)
+            a, b = spec.build(), spec.build()
+            np.testing.assert_array_equal(a.indptr, b.indptr)
+            np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_json_round_trip(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            spec = sample_case(rng)
+            clone = CaseSpec.from_json(spec.to_json())
+            assert clone == spec
+            a, b = spec.build(), clone.build()
+            np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_label_names_family_and_mutations(self):
+        spec = CaseSpec(
+            "gnm",
+            {"n": 6, "m": 5, "seed": 1},
+            (("add-edges", {"count": 1, "seed": 2}),),
+        )
+        assert spec.label() == "gnm+add-edges"
+
+    def test_sample_case_respects_max_vertices_for_gnm(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            spec = sample_case(rng, max_vertices=12, mutation_rate=0.0)
+            if spec.family in ("gnm", "planted"):
+                assert spec.params["n"] <= 12
+
+
+class TestDeriveSeed:
+    def test_stable_across_runs_and_tags(self):
+        # CRC-derived, not hash(): pinned values guard against interpreter
+        # hash randomization sneaking back in.
+        assert derive_seed(0, "a") == derive_seed(0, "a")
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+        assert derive_seed(0, 1, "x", 4) == derive_seed(0, 1, "x", 4)
+        assert 0 <= derive_seed(123, "engines", 5) < 2**31
+
+
+class TestMutators:
+    def test_add_edges_only_adds(self):
+        g = graph_from_edge_list([(0, 1), (2, 3)], 6)
+        grown = mutate_add_edges(g, 3, seed=0)
+        assert set(edge_list(g)) <= set(edge_list(grown))
+        assert grown.num_vertices == 6
+
+    def test_delete_edges_only_deletes(self):
+        g = graph_from_edge_list([(0, 1), (0, 2), (1, 2), (3, 4)], 5)
+        shrunk = mutate_delete_edges(g, 2, seed=1)
+        assert set(edge_list(shrunk)) <= set(edge_list(g))
+        assert shrunk.num_edges == g.num_edges - 2
+        assert shrunk.num_vertices == 5
+
+    def test_rewire_preserves_vertex_count(self):
+        g = graph_from_edge_list([(i, i + 1) for i in range(8)], 9)
+        rewired = mutate_rewire_edges(g, 3, seed=2)
+        assert rewired.num_vertices == 9
+
+    @pytest.mark.parametrize("op", sorted(MUTATORS))
+    def test_mutators_are_seed_deterministic(self, op):
+        g = graph_from_edge_list(
+            [(i, j) for i in range(7) for j in range(i + 1, 7) if (i + j) % 2],
+            7,
+        )
+        a = MUTATORS[op](g, count=2, seed=5)
+        b = MUTATORS[op](g, count=2, seed=5)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_mutators_noop_on_empty(self):
+        g = graph_from_edge_list([], 3)
+        assert mutate_delete_edges(g, 2, seed=0).num_edges == 0
+        assert mutate_rewire_edges(g, 2, seed=0).num_vertices == 3
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self):
+        g = build_family("banded", {"n": 10, "bandwidth": 3})
+        clone = graph_from_edge_list(edge_list(g), g.num_vertices)
+        np.testing.assert_array_equal(g.indptr, clone.indptr)
+        np.testing.assert_array_equal(g.indices, clone.indices)
+
+
+class TestHypothesisStrategies:
+    @given(g=random_graphs(max_n=10))
+    @settings(**SETTINGS)
+    def test_random_graphs_produces_valid_graphs(self, g):
+        from repro.graphs import CSRGraph
+
+        CSRGraph(g.indptr, g.indices, validate=True)
+        assert 2 <= g.num_vertices <= 10
+
+    @given(g=random_graphs(max_n=8, min_n=5))
+    @settings(**SETTINGS)
+    def test_min_n_is_honored(self, g):
+        assert g.num_vertices >= 5
+
+    def test_min_n_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            random_graphs(min_n=1)

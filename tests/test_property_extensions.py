@@ -15,6 +15,7 @@ from repro.core import (
     per_vertex_clique_counts,
 )
 from repro.graphs import from_edges, kcore_kernel, triangle_kernel
+from repro.fuzz.strategies import random_graphs
 from repro.orders import arboricity_estimate, degeneracy_order, forest_decomposition
 
 SETTINGS = dict(
@@ -24,24 +25,14 @@ SETTINGS = dict(
 )
 
 
-@st.composite
-def graphs(draw, max_n=14):
-    n = draw(st.integers(min_value=2, max_value=max_n))
-    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    chosen = draw(st.lists(st.sampled_from(possible), max_size=len(possible)))
-    return from_edges(
-        np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2),
-        num_vertices=n,
-    )
 
-
-@given(g=graphs(), k=st.integers(min_value=4, max_value=7))
+@given(g=random_graphs(max_n=14, min_n=2), k=st.integers(min_value=4, max_value=7))
 @settings(**SETTINGS)
 def test_triangle_growing_matches_oracle(g, k):
     assert count_cliques_triangle_growing(g, k).count == brute_force_count(g, k)
 
 
-@given(g=graphs(), k=st.integers(min_value=1, max_value=7))
+@given(g=random_graphs(max_n=14, min_n=2), k=st.integers(min_value=1, max_value=7))
 @settings(**SETTINGS)
 def test_find_clique_consistent_with_count(g, k):
     witness = find_clique(g, k)
@@ -54,7 +45,7 @@ def test_find_clique_consistent_with_count(g, k):
                 assert g.has_edge(a, b)
 
 
-@given(g=graphs())
+@given(g=random_graphs(max_n=14, min_n=2))
 @settings(**SETTINGS)
 def test_spectrum_internally_consistent(g):
     spectrum = clique_spectrum(g)
@@ -67,7 +58,7 @@ def test_spectrum_internally_consistent(g):
         assert spectrum.get(omega, 0) >= 1
 
 
-@given(g=graphs(), k=st.integers(min_value=3, max_value=7))
+@given(g=random_graphs(max_n=14, min_n=2), k=st.integers(min_value=3, max_value=7))
 @settings(**SETTINGS)
 def test_kernels_preserve_counts(g, k):
     expected = brute_force_count(g, k)
@@ -80,7 +71,7 @@ def test_kernels_preserve_counts(g, k):
     assert tk.graph.num_edges <= kc.graph.num_edges
 
 
-@given(g=graphs(), k=st.integers(min_value=1, max_value=6))
+@given(g=random_graphs(max_n=14, min_n=2), k=st.integers(min_value=1, max_value=6))
 @settings(**SETTINGS)
 def test_per_vertex_counts_sum(g, k):
     counts = per_vertex_clique_counts(g, k)
@@ -88,7 +79,7 @@ def test_per_vertex_counts_sum(g, k):
     assert np.all(counts >= 0)
 
 
-@given(g=graphs(max_n=12))
+@given(g=random_graphs(max_n=12))
 @settings(**SETTINGS)
 def test_densest_subgraph_approximation(g):
     # The greedy result's density is at least (best single clique)/k of
@@ -106,7 +97,7 @@ def test_densest_subgraph_approximation(g):
         assert res.density == 0.0
 
 
-@given(g=graphs())
+@given(g=random_graphs(max_n=14, min_n=2))
 @settings(**SETTINGS)
 def test_forest_decomposition_certificate(g):
     fd = forest_decomposition(g)

@@ -13,6 +13,7 @@ from repro.analysis import (
     check_observation5,
 )
 from repro.graphs import from_edges, orient_by_order
+from repro.fuzz.strategies import random_graphs
 
 SETTINGS = dict(
     max_examples=20,
@@ -20,16 +21,6 @@ SETTINGS = dict(
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 
-
-@st.composite
-def graphs(draw, max_n=14):
-    n = draw(st.integers(min_value=3, max_value=max_n))
-    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    chosen = draw(st.lists(st.sampled_from(possible), max_size=len(possible)))
-    return from_edges(
-        np.asarray(sorted(set(chosen)), dtype=np.int64).reshape(-1, 2),
-        num_vertices=n,
-    )
 
 
 @given(size=st.integers(0, 60), c=st.integers(0, 20))
@@ -46,7 +37,7 @@ def test_observation4_exact(size, c):
     assert enumerated == formula
 
 
-@given(g=graphs(), c=st.integers(min_value=2, max_value=4))
+@given(g=random_graphs(max_n=14, min_n=3), c=st.integers(min_value=2, max_value=4))
 @settings(**SETTINGS)
 def test_lemma_2_2_holds(g, c):
     dag = orient_by_order(g, np.arange(g.num_vertices))
@@ -54,7 +45,7 @@ def test_lemma_2_2_holds(g, c):
     assert lhs <= rhs + 1e-9
 
 
-@given(g=graphs(), c=st.integers(min_value=2, max_value=4))
+@given(g=random_graphs(max_n=14, min_n=3), c=st.integers(min_value=2, max_value=4))
 @settings(**SETTINGS)
 def test_lemma_3_1_holds(g, c):
     dag = orient_by_order(g, np.arange(g.num_vertices))
@@ -62,14 +53,14 @@ def test_lemma_3_1_holds(g, c):
     assert lhs <= rhs + 1e-9
 
 
-@given(g=graphs())
+@given(g=random_graphs(max_n=14, min_n=3))
 @settings(**SETTINGS)
 def test_observation5_holds(g):
     t, bound = check_observation5(g)
     assert t <= bound
 
 
-@given(g=graphs(), eps=st.floats(min_value=0.1, max_value=1.5))
+@given(g=random_graphs(max_n=14, min_n=3), eps=st.floats(min_value=0.1, max_value=1.5))
 @settings(**SETTINGS)
 def test_lemma_4_4_holds(g, eps):
     max_cand, bound = check_lemma_4_4(g, eps=eps)
