@@ -45,7 +45,7 @@ def _k_procedure(
     if k == 2:
         count = 0
         for u in vertices:
-            for v in adj[u]:
+            for v in sorted(adj[u]):
                 stats.probes += 1
                 if v > u:
                     count += 1
@@ -61,7 +61,7 @@ def _k_procedure(
     count = 0
     deleted: List[Tuple[int, List[int]]] = []
     for v in order:
-        nbrs = [u for u in adj[v]]
+        nbrs = sorted(adj[v])
         stats.work += len(nbrs)
         if len(nbrs) >= k - 1:
             # Recurse on the subgraph induced by N(v).

@@ -18,7 +18,9 @@
   cases, cross-engine + metamorphic oracles, delta-debugging shrinker,
   auto-emitted pytest regressions (exit 4 on any violation; see
   docs/FUZZING.md);
-* ``lint [paths]`` — the repo-aware static analysis (rules R1–R4).
+* ``lint [paths] [--changed] [--format text|json|sarif|github]`` — the
+  repo-aware static analysis (intra-module rules R1–R4 plus the
+  interprocedural call-graph rules R5–R8; see docs/STATIC_ANALYSIS.md).
 
 Graph files may be edge lists (``.txt``/``.edges``, SNAP format), Matrix
 Market (``.mtx``) or this library's ``.npz``. A built-in dataset name
@@ -262,16 +264,34 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import (
+        ChangedFilesError,
+        changed_python_files,
+        format_github,
         format_json,
+        format_sarif,
         format_text,
         load_baseline,
         partition,
+        rules_by_id,
         run_lint,
         save_baseline,
     )
 
     paths = args.paths or ["src"]
-    findings = run_lint(paths)
+    if args.changed:
+        try:
+            paths = changed_python_files(base=args.base)
+        except ChangedFilesError as exc:
+            print(
+                f"lint --changed: {exc}; falling back to a full lint",
+                file=sys.stderr,
+            )
+        else:
+            if not paths:
+                print("no findings")
+                return 0
+    rules = None if args.rules is None else rules_by_id(args.rules)
+    findings = run_lint(paths, rules=rules)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     baseline_path = args.baseline
@@ -288,8 +308,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if baseline_path is not None:
         findings, grandfathered = partition(findings, load_baseline(baseline_path))
 
-    fmt = format_json if args.format == "json" else format_text
-    print(fmt(findings, grandfathered))
+    if args.format == "json":
+        print(format_json(findings, grandfathered))
+    elif args.format == "sarif":
+        print(format_sarif(findings, grandfathered))
+    elif args.format == "github":
+        print(format_github(findings, grandfathered))
+    else:
+        print(format_text(findings, grandfathered))
     return 1 if findings else 0
 
 
@@ -529,9 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_fuzz)
 
-    p = sub.add_parser("lint", help="repo-aware static analysis (rules R1-R4)")
+    p = sub.add_parser("lint", help="repo-aware static analysis (rules R1-R8)")
     p.add_argument("paths", nargs="*", help="files/directories (default: src)")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif", "github"), default="text"
+    )
     p.add_argument(
         "--baseline",
         default=None,
@@ -541,6 +569,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="record current findings as the accepted baseline and exit 0",
+    )
+    p.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only .py files changed since the merge-base "
+        "(falls back to a full lint if git cannot answer)",
+    )
+    p.add_argument(
+        "--base",
+        default=None,
+        metavar="REF",
+        help="merge-base ref for --changed (default: origin/main, then main)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (e.g. R5,R6,R7,R8); "
+        "default: all",
     )
     p.set_defaults(func=_cmd_lint)
 

@@ -82,6 +82,11 @@ class FrontierTables:
     denotes DAG vertex ``out_indices[base[e] + p]`` and its own rows sit
     at index ``base[e] + p``. ``width`` is the shared word count
     ``ceil(s̃/64)``.
+
+    Immutable: the three arrays are sealed read-only by
+    :func:`build_frontier_tables`, so process workers can share the
+    tables copy-on-write and a stray in-place write raises instead of
+    silently corrupting every sibling worker.
     """
 
     __slots__ = ("rows", "rows_in", "base", "width")
@@ -107,7 +112,11 @@ def build_frontier_tables(
     Each triangle ``(u, w, v)`` contributes exactly one local edge
     ``w → v`` inside the universe of ``u``; both endpoints' local renames
     fall out of the edge ids ``(u, w)`` / ``(u, v)`` by subtracting the
-    source's row offset. O(T) vectorized, no per-source Python loop.
+    source's row offset. Vectorized, no per-source Python loop; with
+    T triangles and m directed edges:
+
+    Work: O(T + m)
+    Depth: O(log m)
     """
     m = dag.num_edges
     n = dag.num_vertices
@@ -150,6 +159,8 @@ def _drive(
     on listing mode: the returned second element is a ``(count, k)``
     array of DAG-vertex clique rows (unsorted); counting mode returns
     ``None`` there.
+
+    Frozen: tables
     """
     collect = prefixes is not None
     rows, rows_in = tables.rows, tables.rows_in
@@ -272,6 +283,8 @@ def count_frontier_slice(
     The process-parallel wrapper fans the eligible-edge range out in
     chunks; each worker calls this on its slice against the shared
     (copy-on-write) tables.
+
+    Frozen: tables
     """
     eids = np.asarray(eligible, dtype=np.int64)
     total, _ = _drive(

@@ -28,6 +28,11 @@ class OrientedDAG:
     Vertex ``i`` of the DAG is the ``i``-th vertex of the total order; all
     out-neighbors of ``i`` are therefore ``> i`` and the out-adjacency rows
     are sorted ascending. ``original_ids[i]`` recovers the input label.
+
+    Immutable once constructed: every engine shares one DAG across many
+    queries (and the process engine forks it to workers), so the adjacency
+    arrays are sealed read-only — an accidental in-place update raises
+    instead of corrupting every later query.
     """
 
     __slots__ = (
@@ -48,6 +53,11 @@ class OrientedDAG:
         self.out_indices = np.ascontiguousarray(out_indices, dtype=np.int32)
         self.original_ids = np.ascontiguousarray(original_ids, dtype=np.int32)
         self.in_indptr, self.in_indices = self._build_in_adjacency()
+        self.out_indptr.setflags(write=False)
+        self.out_indices.setflags(write=False)
+        self.original_ids.setflags(write=False)
+        self.in_indptr.setflags(write=False)
+        self.in_indices.setflags(write=False)
 
     def _build_in_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
         n = self.num_vertices
@@ -149,8 +159,11 @@ def orient_by_order(
     """Orient ``graph`` by a total order given as a vertex permutation.
 
     ``order[i]`` is the original id of the ``i``-th vertex in the order.
-    Charges O(m + n) work and O(log n) depth (bucketing by rank with a
-    scan, as in the parallel orientation of [Shi et al.'20]).
+    Bucketing by rank with a scan, as in the parallel orientation of
+    [Shi et al.'20]:
+
+    Work: O(n + m)
+    Depth: O(log n)
     """
     order = np.asarray(order, dtype=np.int64)
     n = graph.num_vertices
@@ -166,7 +179,11 @@ def orient_by_rank(
     rank: np.ndarray,
     tracker: Tracker = NULL_TRACKER,
 ) -> OrientedDAG:
-    """Orient ``graph`` by ``rank`` (``rank[v]`` = position of ``v``)."""
+    """Orient ``graph`` by ``rank`` (``rank[v]`` = position of ``v``).
+
+    Work: O(n + m)
+    Depth: O(log n)
+    """
     rank = np.asarray(rank, dtype=np.int64)
     n = graph.num_vertices
     if rank.size != n or (n and not np.array_equal(np.sort(rank), np.arange(n))):

@@ -1,0 +1,343 @@
+"""Project symbol table + conservative call graph for interprocedural rules.
+
+The intra-module rules (R1-R4) see one file at a time, so a module global
+mutated three calls below a worker entry point is invisible to them. This
+module gives rules a whole-project view:
+
+* :class:`Project` — every linted module, with per-module definitions
+  (functions, methods, classes) and imports resolved to fully-qualified
+  names. Relative imports (``from ..pram.tracker import Tracker``) and
+  aliases (``import x as y``, ``from x import f as g``) resolve through
+  the package structure on disk (a package root is the first ancestor
+  directory without an ``__init__.py``).
+* a **conservative call graph**: edges are emitted only for call targets
+  that resolve statically — direct calls to module functions, imported
+  functions, ``module.attr`` calls through an imported module,
+  ``self.method()``/``cls.method()`` within a class, constructor calls
+  (resolved to ``__init__``), and project functions passed by name as
+  call arguments (callback edges, e.g. a worker handed to an executor).
+  Dynamic dispatch through arbitrary objects is *not* modeled; rules
+  built on top must treat absence of an edge as "unknown", not "pure".
+* bounded-depth reachability queries (:meth:`Project.reachable`) with
+  one recorded shortest call chain per reached function, so findings can
+  explain *how* a worker reaches the offending code.
+
+Everything is derived from the already-parsed :class:`~repro.lint.core.Module`
+objects — building a :class:`Project` re-reads no files.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .core import Module, call_name
+
+__all__ = ["FunctionInfo", "ModuleInfo", "Project", "DISPATCHERS"]
+
+# Call tails that dispatch their first positional argument as a parallel
+# worker entry point (the process-executor shape of this repo).
+DISPATCHERS = frozenset({"parallel_map_reduce"})
+
+_ARG_KINDS = ("posonlyargs", "args", "kwonlyargs")
+
+
+def function_params(fn: ast.AST) -> List[str]:
+    """Positional + keyword parameter names of a function def."""
+    out: List[str] = []
+    for kind in _ARG_KINDS:
+        out.extend(a.arg for a in getattr(fn.args, kind))
+    return out
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, addressable project-wide."""
+
+    qualname: str  # fully qualified: pkg.mod.fn or pkg.mod.Class.fn
+    module: Module
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None  # enclosing class simple name, if a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def display(self) -> str:
+        """Short human name for messages (``Class.method`` or ``fn``)."""
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module name bindings the resolver consults."""
+
+    name: str  # dotted module name
+    module: Module
+    # local binding -> fully-qualified target (module, function, or class)
+    imports: Dict[str, str] = field(default_factory=dict)
+    # local function name (or Class.method) -> FunctionInfo
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    # local class name -> fully-qualified class name
+    classes: Dict[str, str] = field(default_factory=dict)
+
+
+def _module_name(path: str, root: Optional[str]) -> str:
+    """Dotted module name of ``path`` via the on-disk package structure."""
+    abspath = os.path.abspath(os.path.join(root, path) if root else path)
+    parts = [os.path.splitext(os.path.basename(abspath))[0]]
+    cur = os.path.dirname(abspath)
+    while os.path.isfile(os.path.join(cur, "__init__.py")):
+        parts.append(os.path.basename(cur))
+        parent = os.path.dirname(cur)
+        if parent == cur:
+            break
+        cur = parent
+    if parts[-1] == "__init__":  # pragma: no cover - defensive
+        parts.pop()
+    if parts[0] == "__init__":
+        parts.pop(0)
+    return ".".join(reversed(parts)) or os.path.basename(abspath)
+
+
+def _resolve_relative(modname: str, level: int, target: str) -> str:
+    """Absolute module path of a ``from ...target import x`` statement."""
+    base = modname.split(".")
+    # level 1 = the containing package of this module.
+    base = base[: max(len(base) - level, 0)]
+    if target:
+        base.append(target)
+    return ".".join(base)
+
+
+class Project:
+    """All linted modules with resolved names and a conservative call graph."""
+
+    def __init__(
+        self, modules: Iterable[Module], root: Optional[str] = None
+    ) -> None:
+        self.root = root
+        self.modules: List[Module] = list(modules)
+        self.infos: Dict[str, ModuleInfo] = {}
+        # fully-qualified function name -> FunctionInfo
+        self.functions: Dict[str, FunctionInfo] = {}
+        # fully-qualified class name -> {method simple name}
+        self.class_methods: Dict[str, Set[str]] = {}
+        self._callees: Dict[str, List[str]] = {}
+        for mod in self.modules:
+            info = self._index_module(mod)
+            self.infos[info.name] = info
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index_module(self, mod: Module) -> ModuleInfo:
+        name = _module_name(mod.path, self.root)
+        info = ModuleInfo(name=name, module=mod)
+        for node in mod.tree.body:
+            self._index_statement(info, node)
+        return info
+
+    def _index_statement(self, info: ModuleInfo, node: ast.stmt) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = (
+                _resolve_relative(info.name, node.level, node.module or "")
+                if node.level
+                else (node.module or "")
+            )
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fq = f"{info.name}.{node.name}"
+            fn = FunctionInfo(qualname=fq, module=info.module, node=node)
+            info.functions[node.name] = fn
+            self.functions[fq] = fn
+        elif isinstance(node, ast.ClassDef):
+            fq_cls = f"{info.name}.{node.name}"
+            info.classes[node.name] = fq_cls
+            methods = self.class_methods.setdefault(fq_cls, set())
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    local = f"{node.name}.{sub.name}"
+                    fq = f"{info.name}.{local}"
+                    fn = FunctionInfo(
+                        qualname=fq,
+                        module=info.module,
+                        node=sub,
+                        cls=node.name,
+                    )
+                    info.functions[local] = fn
+                    self.functions[fq] = fn
+                    methods.add(sub.name)
+
+    # -- resolution --------------------------------------------------------
+
+    def _class_init(self, fq_cls: str) -> Optional[str]:
+        if "__init__" in self.class_methods.get(fq_cls, ()):  # ctor edge
+            return f"{fq_cls}.__init__"
+        return None
+
+    def resolve_name(
+        self, info: ModuleInfo, dotted: str, cls: Optional[str] = None
+    ) -> Optional[str]:
+        """Fully-qualified *function* a dotted reference points at, if any.
+
+        ``cls`` is the enclosing class when resolving inside a method (for
+        ``self.``/``cls.`` receivers). Returns ``None`` for anything that
+        does not statically resolve to a project function — the graph is
+        conservative, never guessed.
+        """
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+
+        if head in ("self", "cls") and cls is not None and len(parts) == 2:
+            fn = info.functions.get(f"{cls}.{parts[1]}")
+            return fn.qualname if fn is not None else None
+
+        if len(parts) == 1:
+            fn = info.functions.get(head)
+            if fn is not None:
+                return fn.qualname
+            if head in info.classes:
+                return self._class_init(info.classes[head])
+            target = info.imports.get(head)
+            if target is not None:
+                if target in self.functions:
+                    return target
+                if target in self.class_methods:
+                    return self._class_init(target)
+            return None
+
+        # Dotted reference: resolve the head, then append the rest.
+        prefix: Optional[str] = None
+        if head in info.classes:
+            prefix = info.classes[head]
+        elif head in info.imports:
+            prefix = info.imports[head]
+        if prefix is None:
+            return None
+        candidate = ".".join([prefix] + parts[1:])
+        if candidate in self.functions:
+            return candidate
+        if candidate in self.class_methods:
+            return self._class_init(candidate)
+        return None
+
+    # -- call graph --------------------------------------------------------
+
+    def callees(self, qualname: str) -> List[str]:
+        """Sorted, de-duplicated static callees of one project function.
+
+        Includes callback edges: a project function passed by name as an
+        argument is assumed callable by the callee.
+        """
+        cached = self._callees.get(qualname)
+        if cached is not None:
+            return cached
+        fn = self.functions.get(qualname)
+        if fn is None:
+            self._callees[qualname] = []
+            return []
+        modname = qualname.rsplit(
+            f".{fn.cls}.{fn.name}" if fn.cls else f".{fn.name}", 1
+        )[0]
+        info = self.infos[modname]
+        out: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self.resolve_name(info, call_name(node), cls=fn.cls)
+            if target is not None and target != qualname:
+                out.add(target)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                cb = self._reference_target(info, arg, fn.cls)
+                if cb is not None and cb != qualname:
+                    out.add(cb)
+        result = sorted(out)
+        self._callees[qualname] = result
+        return result
+
+    def _reference_target(
+        self, info: ModuleInfo, expr: ast.expr, cls: Optional[str]
+    ) -> Optional[str]:
+        """A bare function reference (not a call) passed as a value."""
+        if isinstance(expr, ast.Name):
+            return self.resolve_name(info, expr.id, cls=cls)
+        if isinstance(expr, ast.Attribute):
+            parts: List[str] = []
+            cur: ast.expr = expr
+            while isinstance(cur, ast.Attribute):
+                parts.append(cur.attr)
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                parts.append(cur.id)
+                return self.resolve_name(
+                    info, ".".join(reversed(parts)), cls=cls
+                )
+        return None
+
+    def reachable(
+        self, entry: str, max_depth: int = 10
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Functions reachable from ``entry`` within ``max_depth`` calls.
+
+        Returns ``{qualname: chain}`` where ``chain`` is one shortest call
+        path ``(entry, ..., qualname)``. The entry itself is excluded —
+        callers usually treat depth 0 separately (R2 already judges the
+        worker's own body).
+        """
+        seen: Dict[str, Tuple[str, ...]] = {entry: (entry,)}
+        frontier = [entry]
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            nxt: List[str] = []
+            for fq in frontier:
+                for callee in self.callees(fq):
+                    if callee not in seen:
+                        seen[callee] = seen[fq] + (callee,)
+                        nxt.append(callee)
+            frontier = nxt
+        seen.pop(entry, None)
+        return seen
+
+    # -- worker entry points ----------------------------------------------
+
+    def worker_entry_points(self) -> List[str]:
+        """Project functions dispatched as parallel workers, sorted.
+
+        A function is an entry point when it is passed as the first
+        positional argument to a dispatcher call (``parallel_map_reduce``)
+        anywhere in the project.
+        """
+        out: Set[str] = set()
+        for info in self.infos.values():
+            for node in ast.walk(info.module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                tail = call_name(node).split(".")[-1]
+                if tail not in DISPATCHERS or not node.args:
+                    continue
+                target = self._reference_target(info, node.args[0], None)
+                if target is not None:
+                    out.add(target)
+        return sorted(out)
+
+    # -- lookup helpers ----------------------------------------------------
+
+    def info_of(self, fn: FunctionInfo) -> ModuleInfo:
+        """The :class:`ModuleInfo` a function belongs to."""
+        suffix = f".{fn.cls}.{fn.name}" if fn.cls else f".{fn.name}"
+        return self.infos[fn.qualname.rsplit(suffix, 1)[0]]

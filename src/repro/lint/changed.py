@@ -1,0 +1,92 @@
+"""``repro lint --changed``: restrict the scan to files off the merge-base.
+
+As the rule count grows, a full-tree run is the CI gate's job; local
+pre-commit loops and PR lint jobs only need the files the branch
+actually touched. The changed set is
+
+* every ``.py`` file differing from ``merge-base(HEAD, <base>)``
+  (committed, staged, *and* unstaged edits — ``git diff`` against the
+  merge-base sees all three), plus
+* untracked ``.py`` files (``git ls-files --others``).
+
+Deleted files are filtered out (nothing to parse). Any git failure —
+not a repository, unknown base, no git binary — raises
+:class:`ChangedFilesError`; the CLI falls back to a full lint with a
+note on stderr rather than silently passing an unlinted change.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import List, Optional
+
+__all__ = ["ChangedFilesError", "changed_python_files"]
+
+_DEFAULT_BASES = ("origin/main", "main", "origin/master", "master")
+
+
+class ChangedFilesError(RuntimeError):
+    """git could not produce a changed-file list."""
+
+
+def _git(args: List[str], cwd: Optional[str]) -> str:
+    try:
+        proc = subprocess.run(
+            ["git"] + args,
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=False,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ChangedFilesError(f"git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        raise ChangedFilesError(
+            f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+        )
+    return proc.stdout
+
+
+def _merge_base(base: Optional[str], cwd: Optional[str]) -> str:
+    candidates = (base,) if base is not None else _DEFAULT_BASES
+    last_error: Optional[ChangedFilesError] = None
+    for candidate in candidates:
+        try:
+            return _git(["merge-base", "HEAD", candidate], cwd).strip()
+        except ChangedFilesError as exc:
+            last_error = exc
+    raise last_error if last_error is not None else ChangedFilesError(
+        "no merge base candidate"
+    )
+
+
+def changed_python_files(
+    base: Optional[str] = None, root: Optional[str] = None
+) -> List[str]:
+    """Existing ``.py`` files changed since the merge-base, sorted.
+
+    Paths are relative to ``root`` (default: the current directory).
+    ``base`` names the ref to diff against; by default the first of
+    ``origin/main``/``main``/``origin/master``/``master`` that resolves.
+    """
+    merge_base = _merge_base(base, root)
+    listed = _git(["diff", "--name-only", merge_base], root).splitlines()
+    listed += _git(
+        ["ls-files", "--others", "--exclude-standard"], root
+    ).splitlines()
+    # git prints repo-toplevel-relative paths; rebase them onto ``root``
+    # so the caller can open them (and so finding paths — hence baseline
+    # fingerprints — look the same as a full run from the same directory).
+    toplevel = _git(["rev-parse", "--show-toplevel"], root).strip()
+    cwd = os.path.abspath(root or ".")
+    out = set()
+    for p in listed:
+        p = p.strip()
+        if not p.endswith(".py"):
+            continue
+        absolute = os.path.join(toplevel, p)
+        if os.path.isfile(absolute):
+            out.add(os.path.relpath(absolute, cwd))
+    return sorted(out)

@@ -83,12 +83,23 @@ class Module:
 
 
 class Rule:
-    """Base class: one rule family, identified by ``rule_id``."""
+    """Base class: one rule family, identified by ``rule_id``.
+
+    Intra-module rules implement :meth:`check`. Interprocedural rules set
+    ``requires_project = True`` and implement :meth:`check_project`
+    instead — :func:`run_rules` hands them one shared
+    :class:`~repro.lint.callgraph.Project` built over every scanned
+    module.
+    """
 
     rule_id: str = "R?"
     name: str = ""
+    requires_project: bool = False
 
     def check(self, module: Module) -> List[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def check_project(self, project) -> List[Finding]:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -167,20 +178,45 @@ def collect_python_files(paths: Iterable[str]) -> List[str]:
 
 
 def run_rules(
-    modules: Iterable[Module], rules: Sequence[Rule]
+    modules: Iterable[Module],
+    rules: Sequence[Rule],
+    root: Optional[str] = None,
 ) -> List[Finding]:
-    """Apply every rule to every module, dropping suppressed findings."""
+    """Apply every rule to every module, dropping suppressed findings.
+
+    Project rules (``requires_project``) run once over a shared
+    :class:`~repro.lint.callgraph.Project`; their findings go through the
+    same suppression filter via the module they landed in (findings in
+    non-scanned files — e.g. a docs file — are kept as-is).
+    """
+    modules = list(modules)
+    by_path: Dict[str, Module] = {m.path: m for m in modules}
+    enclosing_cache: Dict[str, Dict[int, ast.AST]] = {}
+    project = None
+
+    def keep(f: Finding) -> bool:
+        module = by_path.get(f.path)
+        if module is None:
+            return True
+        if module.suppressed(f.line, f.rule):
+            return False
+        enclosing = enclosing_cache.get(f.path)
+        if enclosing is None:
+            enclosing = enclosing_cache[f.path] = enclosing_map(module.tree)
+        fn = enclosing.get(f.line)
+        return fn is None or not module.suppressed(fn.lineno, f.rule)
+
     findings: List[Finding] = []
-    for module in modules:
-        enclosing = enclosing_map(module.tree)
-        for rule in rules:
-            for f in rule.check(module):
-                if module.suppressed(f.line, f.rule):
-                    continue
-                fn = enclosing.get(f.line)
-                if fn is not None and module.suppressed(fn.lineno, f.rule):
-                    continue
-                findings.append(f)
+    for rule in rules:
+        if rule.requires_project:
+            if project is None:
+                from .callgraph import Project
+
+                project = Project(modules, root=root)
+            findings.extend(f for f in rule.check_project(project) if keep(f))
+        else:
+            for module in modules:
+                findings.extend(f for f in rule.check(module) if keep(f))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

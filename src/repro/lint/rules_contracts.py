@@ -1,0 +1,211 @@
+"""R7 — PRAM contract certifier.
+
+Instrumented functions in this repo document their cost as explicit
+docstring contract lines::
+
+    Work: O(n log n)
+    Depth: O(log n)
+
+The tracker *charges* those bounds at runtime; nothing previously checked
+that the **code shape** can honor them. This rule certifies two cheap
+necessary conditions (it is a certifier of declared bounds, not an
+inferencer — functions without contract lines are never judged):
+
+* **Loop nesting vs. declared work** — a body that nests ``D``
+  data-dependent Python loops does Ω(n^D) sequential work, so ``D`` must
+  not exceed the polynomial degree of the declared work bound. Loops
+  over constant tuples (``for shift in (0, 16, 32, 48)``) and
+  constant-range loops are structural, not data-dependent, and are
+  excluded.
+* **Polylog depth vs. sequential loops** — a declared ``Depth: O(log n)``
+  (degree-0) bound is incompatible with *any* data-dependent sequential
+  Python loop: each iteration is a chain in the dependence DAG.
+* **Callee contracts** — a direct callee whose own declared work bound
+  asymptotically exceeds the caller's declared bound falsifies the
+  caller's contract (an ``O(m)`` body calling an ``O(m·γ)`` helper).
+  Resolved through the project call graph, so only statically-known
+  callees are judged.
+
+Bounds compare by (polynomial degree, log-factor count), so
+``O(n log n)`` > ``O(n)`` > ``O(log n)`` > ``O(1)``. Variable names are
+irrelevant — the certifier checks shape, not which size parameter the
+author picked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .callgraph import FunctionInfo, Project
+from .core import Finding, Module, Rule
+
+__all__ = ["ContractRule", "parse_bound", "loop_nesting_depth"]
+
+_WORK_RE = re.compile(r"^\s*Work:\s*O\((.+?)\)\s*$", re.MULTILINE)
+_DEPTH_RE = re.compile(r"^\s*Depth:\s*O\((.+?)\)\s*$", re.MULTILINE)
+_TOKEN_RE = re.compile(r"[^\W\d]\w*|\^\s*(\d+)|\d+", re.UNICODE)
+
+
+def parse_bound(expr: str) -> Tuple[int, int]:
+    """(polynomial degree, log factors) of the dominant term of ``expr``.
+
+    ``expr`` is the inside of an ``O(...)``: products of size variables,
+    ``log`` factors, explicit powers (``n^2`` / ``n**2``), summed terms
+    (``m + n``). The dominant term is the lexicographic max of
+    (degree, logs) over the ``+``-separated terms.
+    """
+    best = (0, 0)
+    for term in expr.replace("**", "^").replace("·", " ").split("+"):
+        degree = logs = 0
+        pending_log = False
+        tokens = list(_TOKEN_RE.finditer(term))
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i].group(0)
+            power = tokens[i].group(1)
+            if power is not None:
+                # An explicit exponent multiplies the previous variable.
+                degree += int(power) - 1
+            elif tok == "log":
+                logs += 1
+                pending_log = True
+            elif tok.isdigit():
+                pass  # constants do not change the asymptotic class
+            elif tok == "O":
+                pass
+            else:  # a size variable
+                if pending_log:
+                    pending_log = False  # the log's argument, not a factor
+                else:
+                    degree += 1
+            i += 1
+        best = max(best, (degree, logs))
+    return best
+
+
+def _bound_of(doc: str, pattern: re.Pattern) -> Optional[Tuple[str, Tuple[int, int]]]:
+    m = pattern.search(doc)
+    if m is None:
+        return None
+    return m.group(1).strip(), parse_bound(m.group(1))
+
+
+def _is_data_dependent(loop: ast.AST) -> bool:
+    """Whether a for/while loop's trip count depends on input data."""
+    if isinstance(loop, ast.While):
+        return True
+    it = loop.iter
+    if isinstance(it, (ast.Tuple, ast.List, ast.Set)):
+        return not all(isinstance(e, ast.Constant) for e in it.elts)
+    if isinstance(it, ast.Call):
+        fn = it.func
+        if isinstance(fn, ast.Name) and fn.id == "range":
+            return not all(isinstance(a, ast.Constant) for a in it.args)
+    return True
+
+
+def loop_nesting_depth(fn: ast.AST) -> Tuple[int, Optional[ast.AST]]:
+    """Max nesting of data-dependent loops; returns (depth, deepest loop).
+
+    Nested function definitions are opaque (their cost belongs to their
+    own contract, and they may never run).
+    """
+    best: Tuple[int, Optional[ast.AST]] = (0, None)
+
+    def visit(node: ast.AST, depth: int) -> None:
+        nonlocal best
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if child is not fn:
+                    continue
+            d = depth
+            if isinstance(child, (ast.For, ast.While)) and _is_data_dependent(
+                child
+            ):
+                d += 1
+                if d > best[0]:
+                    best = (d, child)
+            visit(child, d)
+
+    visit(fn, 0)
+    return best
+
+
+class ContractRule(Rule):
+    rule_id = "R7"
+    name = "pram-contract-certifier"
+    requires_project = True
+
+    def check_project(self, project: Project) -> List[Finding]:
+        contracts: Dict[str, Tuple[str, Tuple[int, int]]] = {}
+        for qualname, fn in project.functions.items():
+            doc = ast.get_docstring(fn.node, clean=True) or ""
+            work = _bound_of(doc, _WORK_RE)
+            if work is not None:
+                contracts[qualname] = work
+        findings: List[Finding] = []
+        for qualname in sorted(contracts):
+            fn = project.functions[qualname]
+            findings.extend(
+                self._certify(project, fn, contracts, contracts[qualname])
+            )
+        return findings
+
+    def _certify(
+        self,
+        project: Project,
+        fn: FunctionInfo,
+        contracts: Dict[str, Tuple[str, Tuple[int, int]]],
+        work: Tuple[str, Tuple[int, int]],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        work_expr, (work_deg, work_logs) = work
+        doc = ast.get_docstring(fn.node, clean=True) or ""
+        depth_bound = _bound_of(doc, _DEPTH_RE)
+
+        def emit(node: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.rule_id,
+                    path=fn.module.path,
+                    line=getattr(node, "lineno", fn.node.lineno),
+                    col=getattr(node, "col_offset", 0),
+                    symbol=fn.display,
+                    message=message,
+                )
+            )
+
+        nesting, deepest = loop_nesting_depth(fn.node)
+        if nesting > work_deg:
+            emit(
+                deepest or fn.node,
+                f"'{fn.display}' declares Work: O({work_expr}) "
+                f"(degree {work_deg}) but nests {nesting} data-dependent "
+                "loop(s); the body cannot honor the declared bound",
+            )
+        if depth_bound is not None:
+            depth_expr, (depth_deg, _) = depth_bound
+            if depth_deg == 0 and nesting > 0:
+                emit(
+                    deepest or fn.node,
+                    f"'{fn.display}' declares Depth: O({depth_expr}) but "
+                    "runs a data-dependent sequential loop; each iteration "
+                    "is a chain in the dependence DAG",
+                )
+
+        for callee in project.callees(fn.qualname):
+            contract = contracts.get(callee)
+            if contract is None:
+                continue
+            callee_expr, callee_bound = contract
+            if callee_bound > (work_deg, work_logs):
+                callee_fn = project.functions[callee]
+                emit(
+                    fn.node,
+                    f"'{fn.display}' declares Work: O({work_expr}) but "
+                    f"calls '{callee_fn.display}' whose declared work "
+                    f"O({callee_expr}) exceeds it",
+                )
+        return findings

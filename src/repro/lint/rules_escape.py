@@ -1,0 +1,287 @@
+"""R5 — parallel-region escape detector (interprocedural purity).
+
+R2 judges a worker function's *own body*; it cannot see a module global
+mutated three calls below the entry point. R5 is the transitive closure:
+starting from every worker entry point (functions dispatched through
+``parallel_map_reduce`` — the repo's process-executor shape), it walks
+the project call graph (:mod:`~repro.lint.callgraph`) and flags any
+*reachable callee* that
+
+* declares ``global``/``nonlocal`` state,
+* writes into a module global (subscript/attribute store, or a mutating
+  method call like ``.append()``/``.update()``),
+* mutates a default-argument container (``def f(x, acc=[])`` +
+  ``acc.append(...)`` — state that silently persists across calls within
+  one worker process and diverges from the sequential path),
+* calls a known-impure stdlib API that mutates process-global state
+  (``os.chdir``, ``os.environ`` writes, ``random.seed``, …).
+
+Each finding carries the call chain from the entry point, so the report
+reads as a witness: ``worker '_worker' → 'helper' → 'sink'``. The entry
+function itself (depth 0) is R2's jurisdiction and is skipped here —
+the two rules partition the bug class instead of double-reporting it.
+
+This is the static twin of the runtime CREW sanitizer
+(:mod:`repro.pram.sanitize`): the sanitizer proves one execution
+race-free, R5 proves the *reachable code* writes no shared scope at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import FunctionInfo, Project, function_params
+from .core import Finding, Module, Rule, call_name, root_name
+
+__all__ = ["EscapeRule", "IMPURE_CALLS"]
+
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse", "fill",
+    "put", "itemset",
+}
+
+# Process-global mutators: calling any of these from (under) a forked
+# worker mutates state the parent never sees — or worse, races under a
+# thread backend. Keyed by dotted tail after alias normalization.
+IMPURE_CALLS = frozenset({
+    "os.chdir",
+    "os.putenv",
+    "os.unsetenv",
+    "os.umask",
+    "os.environ.update",
+    "os.environ.setdefault",
+    "os.environ.pop",
+    "os.environ.clear",
+    "random.seed",
+    "random.setstate",
+    "random.shuffle",
+    "np.random.seed",
+    "numpy.random.seed",
+    "logging.basicConfig",
+    "logging.disable",
+    "warnings.filterwarnings",
+    "warnings.simplefilter",
+    "sys.setrecursionlimit",
+    "signal.signal",
+    "multiprocessing.set_start_method",
+    "mp.set_start_method",
+})
+
+_MUTABLE_DEFAULTS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CTORS = {"list", "dict", "set", "defaultdict", "deque", "Counter"}
+
+
+def _mutable_default_params(fn: ast.AST) -> Set[str]:
+    """Parameters whose default value is a mutable container."""
+    args = list(fn.args.posonlyargs) + list(fn.args.args)
+    out: Set[str] = set()
+    pos_defaults = fn.args.defaults
+    if pos_defaults:
+        for arg, default in zip(args[-len(pos_defaults):], pos_defaults):
+            if _is_mutable_literal(default):
+                out.add(arg.arg)
+    for arg, default in zip(fn.args.kwonlyargs, fn.args.kw_defaults):
+        if default is not None and _is_mutable_literal(default):
+            out.add(arg.arg)
+    return out
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DEFAULTS):
+        return True
+    return isinstance(node, ast.Call) and call_name(node) in _MUTABLE_CTORS
+
+
+def _local_bindings(fn: ast.AST) -> Set[str]:
+    """Names bound inside the function body (shadow module globals)."""
+    out: Set[str] = set(function_params(fn))
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+    return out
+
+
+class EscapeRule(Rule):
+    rule_id = "R5"
+    name = "parallel-region-escape"
+    requires_project = True
+
+    def __init__(self, max_depth: int = 10) -> None:
+        self.max_depth = max_depth
+
+    def check_project(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        # (qualname, line, message) de-dup: a sink reachable from several
+        # entry points is reported once, with the lexicographically first
+        # entry's chain (entries are sorted, BFS adjacency is sorted).
+        reported: Set[Tuple[str, int, str]] = set()
+        for entry in project.worker_entry_points():
+            for qualname, chain in sorted(
+                project.reachable(entry, self.max_depth).items()
+            ):
+                fn = project.functions.get(qualname)
+                if fn is None:
+                    continue
+                for node, message in self._defects(project, fn):
+                    line = getattr(node, "lineno", fn.node.lineno)
+                    key = (qualname, line, message)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=fn.module.path,
+                            line=line,
+                            col=getattr(node, "col_offset", 0),
+                            symbol=fn.display,
+                            message=(
+                                f"{message} [reachable from parallel worker "
+                                f"via {self._chain(project, chain)}]"
+                            ),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _chain(project: Project, chain: Tuple[str, ...]) -> str:
+        names = []
+        for fq in chain:
+            fn = project.functions.get(fq)
+            names.append(fn.display if fn is not None else fq.split(".")[-1])
+        return " -> ".join(f"'{n}'" for n in names)
+
+    # -- per-function defect scan -----------------------------------------
+
+    def _defects(
+        self, project: Project, fn: FunctionInfo
+    ) -> List[Tuple[ast.AST, str]]:
+        module = fn.module
+        node = fn.node
+        out: List[Tuple[ast.AST, str]] = []
+        mutable_defaults = _mutable_default_params(node)
+        local = _local_bindings(node)
+        declared_global: Set[str] = set()
+        # Targets of augmented assignments are also Store-context nodes;
+        # they get the dedicated "accumulates" message, not the store one.
+        aug_targets = {
+            id(sub.target)
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.AugAssign)
+        }
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(sub, ast.Global) else "nonlocal"
+                declared_global.update(sub.names)
+                out.append(
+                    (
+                        sub,
+                        f"'{fn.display}' declares {kind} state; code "
+                        "reachable from a parallel worker must not write "
+                        "shared scope",
+                    )
+                )
+            elif isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                if sub.id in declared_global:
+                    out.append(
+                        (
+                            sub,
+                            f"'{fn.display}' rebinds module global "
+                            f"'{sub.id}'; the write is invisible to the "
+                            "parent process and races under threads",
+                        )
+                    )
+            elif isinstance(sub, (ast.Subscript, ast.Attribute)) and isinstance(
+                sub.ctx, ast.Store
+            ):
+                if id(sub) in aug_targets:
+                    continue
+                base = root_name(sub)
+                if base is None:
+                    continue
+                if base in module.module_globals and base not in local:
+                    out.append(
+                        (
+                            sub,
+                            f"'{fn.display}' writes into module global "
+                            f"'{base}'; pass results back through return "
+                            "values instead",
+                        )
+                    )
+                elif base in mutable_defaults:
+                    out.append(
+                        (
+                            sub,
+                            f"'{fn.display}' writes into mutable default "
+                            f"argument '{base}'; the container persists "
+                            "across calls inside one worker process",
+                        )
+                    )
+            elif isinstance(sub, ast.AugAssign):
+                base = root_name(sub.target)
+                if base is None:
+                    continue
+                if isinstance(sub.target, (ast.Subscript, ast.Attribute)):
+                    if base in module.module_globals and base not in local:
+                        out.append(
+                            (
+                                sub,
+                                f"'{fn.display}' accumulates into module "
+                                f"global '{base}' under a parallel worker",
+                            )
+                        )
+                    elif base in mutable_defaults:
+                        out.append(
+                            (
+                                sub,
+                                f"'{fn.display}' accumulates into mutable "
+                                f"default argument '{base}'",
+                            )
+                        )
+            elif isinstance(sub, ast.Call):
+                out.extend(self._call_defects(project, fn, sub, local, mutable_defaults))
+        return out
+
+    def _call_defects(
+        self,
+        project: Project,
+        fn: FunctionInfo,
+        sub: ast.Call,
+        local: Set[str],
+        mutable_defaults: Set[str],
+    ) -> List[Tuple[ast.AST, str]]:
+        out: List[Tuple[ast.AST, str]] = []
+        name = call_name(sub)
+        module = fn.module
+        if name in IMPURE_CALLS:
+            out.append(
+                (
+                    sub,
+                    f"'{fn.display}' calls process-global mutator "
+                    f"'{name}' while reachable from a parallel worker",
+                )
+            )
+        elif isinstance(sub.func, ast.Attribute) and sub.func.attr in _MUTATORS:
+            base = root_name(sub.func)
+            if base is None:
+                pass
+            elif base in module.module_globals and base not in local:
+                out.append(
+                    (
+                        sub,
+                        f"'{fn.display}' calls mutating method "
+                        f"'.{sub.func.attr}()' on module global '{base}'",
+                    )
+                )
+            elif base in mutable_defaults:
+                out.append(
+                    (
+                        sub,
+                        f"'{fn.display}' calls mutating method "
+                        f"'.{sub.func.attr}()' on mutable default "
+                        f"argument '{base}'",
+                    )
+                )
+        return out

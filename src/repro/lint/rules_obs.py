@@ -1,0 +1,257 @@
+"""R8 — instrumentation drift between code and docs/OBSERVABILITY.md.
+
+The observability doc is the contract the benchmark tooling and the
+regression gate read: its tables enumerate every metric the engines
+record and every ``tracker.phase`` name they open. Nothing previously
+kept that contract honest — a new phase or metric silently widened the
+real surface, and a renamed one left the doc describing instrumentation
+that no longer exists.
+
+Checked in both directions:
+
+* **Undocumented usage** — every ``tracker.phase("name")`` call site and
+  every ``metrics.counter/gauge/histogram("name")`` call site in the
+  scanned tree must match a row of the doc's phase/metric tables.
+  Metric names built with f-strings normalize interpolations to ``*``
+  and match the doc's ``<placeholder>`` rows (also normalized to ``*``).
+* **Stale documentation** — a documented metric or phase that no scanned
+  call site records. This direction only runs when the scan covers the
+  full ``src`` tree (a partial scan — one package, one file — proves
+  nothing about absence), so CI's lint-package self-check stays quiet.
+
+Dynamic names the analyzer cannot resolve statically are skipped, never
+guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import Project
+from .core import Finding, Module, Rule
+
+__all__ = ["ObsDriftRule", "parse_obs_doc"]
+
+_RECORDERS = {"counter", "gauge", "histogram"}
+_BACKTICK_RE = re.compile(r"`([^`]+)`")
+_PLACEHOLDER_RE = re.compile(r"<[^>]*>")
+_SEPARATOR_CHARS = set("-: ")
+
+
+def parse_obs_doc(text: str) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Extract (metric patterns, phase names) → doc line from the doc.
+
+    Walks every markdown table; a table whose header's first cell
+    mentions ``metric`` contributes metric rows, ``phase`` contributes
+    phase rows. Within a first cell, backticked tokens are the names;
+    ``/``-separated alternatives are split, a token starting with ``.``
+    inherits the previous token's prefix (``.violations`` after
+    ``fuzz.oracle.<name>.checks``), and ``<placeholder>`` segments become
+    ``*`` wildcards.
+    """
+    metrics: Dict[str, int] = {}
+    phases: Dict[str, int] = {}
+    kind: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        s = line.strip()
+        if not s.startswith("|"):
+            kind = None
+            continue
+        cells = [c.strip() for c in s.strip("|").split("|")]
+        first = cells[0] if cells else ""
+        if first and set(first) <= _SEPARATOR_CHARS:
+            continue  # the |---|---| separator row
+        if kind is None:
+            head = first.lower()
+            kind = (
+                "metric"
+                if "metric" in head
+                else ("phase" if "phase" in head else "other")
+            )
+            continue
+        if kind == "other":
+            continue
+        prev: Optional[str] = None
+        for token in _BACKTICK_RE.findall(first):
+            if token.startswith(".") and prev is not None:
+                token = prev.rsplit(".", 1)[0] + token
+            prev = token
+            name = _PLACEHOLDER_RE.sub("*", token)
+            (metrics if kind == "metric" else phases).setdefault(name, lineno)
+    return metrics, phases
+
+
+def _static_strings(node: ast.expr) -> List[str]:
+    """Statically-known values of a metric/phase name expression.
+
+    f-string interpolations become ``*``; a conditional expression
+    contributes both branches; anything else is dynamic → ``[]``.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant) and isinstance(piece.value, str):
+                parts.append(piece.value)
+            elif isinstance(piece, ast.FormattedValue):
+                parts.append("*")
+            else:
+                return []
+        return ["".join(parts)]
+    if isinstance(node, ast.IfExp):
+        return _static_strings(node.body) + _static_strings(node.orelse)
+    return []
+
+
+def _matches(name: str, patterns: Sequence[str]) -> bool:
+    for pattern in patterns:
+        if pattern == name or ("*" in pattern and fnmatch.fnmatchcase(name, pattern)):
+            return True
+    return False
+
+
+class ObsDriftRule(Rule):
+    rule_id = "R8"
+    name = "instrumentation-drift"
+    requires_project = True
+
+    def __init__(self, doc_path: Optional[str] = None) -> None:
+        self.doc_path = doc_path
+
+    # -- discovery ---------------------------------------------------------
+
+    @staticmethod
+    def _repo_root(project: Project) -> Optional[str]:
+        if project.root is not None:
+            return os.path.abspath(project.root)
+        if not project.modules:
+            return None
+        cur = os.path.dirname(
+            os.path.abspath(os.path.join(".", project.modules[0].path))
+        )
+        for _ in range(12):
+            if os.path.isfile(os.path.join(cur, "docs", "OBSERVABILITY.md")):
+                return cur
+            parent = os.path.dirname(cur)
+            if parent == cur:
+                break
+            cur = parent
+        return None
+
+    @staticmethod
+    def _covers_full_tree(project: Project, root: str) -> bool:
+        src = os.path.join(root, "src")
+        wanted: Set[str] = set()
+        for dirpath, dirnames, filenames in os.walk(src):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for fn in filenames:
+                if fn.endswith(".py"):
+                    wanted.add(os.path.abspath(os.path.join(dirpath, fn)))
+        covered = {
+            os.path.abspath(os.path.join(project.root or ".", m.path))
+            for m in project.modules
+        }
+        return wanted <= covered
+
+    # -- the check ---------------------------------------------------------
+
+    def check_project(self, project: Project) -> List[Finding]:
+        root = self._repo_root(project)
+        doc_path = self.doc_path
+        if doc_path is None and root is not None:
+            doc_path = os.path.join(root, "docs", "OBSERVABILITY.md")
+        if doc_path is None or not os.path.isfile(doc_path):
+            return []
+        with open(doc_path, "r", encoding="utf-8") as fh:
+            doc_metrics, doc_phases = parse_obs_doc(fh.read())
+        metric_patterns = sorted(doc_metrics)
+        findings: List[Finding] = []
+        used_metrics: Set[str] = set()
+        used_phases: Set[str] = set()
+
+        for mod in project.modules:
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call) or not isinstance(
+                    node.func, ast.Attribute
+                ):
+                    continue
+                attr = node.func.attr
+                if attr == "phase" and node.args:
+                    for name in _static_strings(node.args[0]):
+                        used_phases.add(name)
+                        if name not in doc_phases:
+                            findings.append(
+                                self._finding(
+                                    mod,
+                                    node,
+                                    f"phase '{name}' is opened here but "
+                                    "missing from the phase table in "
+                                    "docs/OBSERVABILITY.md",
+                                )
+                            )
+                elif attr in _RECORDERS and node.args:
+                    for name in _static_strings(node.args[0]):
+                        used_metrics.add(name)
+                        if not _matches(name, metric_patterns):
+                            findings.append(
+                                self._finding(
+                                    mod,
+                                    node,
+                                    f"metric '{name}' is recorded here but "
+                                    "missing from the metric tables in "
+                                    "docs/OBSERVABILITY.md",
+                                )
+                            )
+
+        if root is not None and self._covers_full_tree(project, root):
+            doc_rel = os.path.relpath(doc_path, root)
+            for pattern in metric_patterns:
+                if not any(
+                    _matches(used, [pattern]) for used in sorted(used_metrics)
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=doc_rel,
+                            line=doc_metrics[pattern],
+                            col=0,
+                            symbol="<docs>",
+                            message=(
+                                f"documented metric '{pattern}' is recorded "
+                                "by no call site in the scanned tree"
+                            ),
+                        )
+                    )
+            for phase in sorted(doc_phases):
+                if phase not in used_phases:
+                    findings.append(
+                        Finding(
+                            rule=self.rule_id,
+                            path=doc_rel,
+                            line=doc_phases[phase],
+                            col=0,
+                            symbol="<docs>",
+                            message=(
+                                f"documented phase '{phase}' is opened by "
+                                "no call site in the scanned tree"
+                            ),
+                        )
+                    )
+        return findings
+
+    def _finding(self, mod: Module, node: ast.AST, message: str) -> Finding:
+        from .core import qualsymbol
+
+        return Finding(
+            rule=self.rule_id,
+            path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            symbol=qualsymbol(mod, node),
+            message=message,
+        )

@@ -1,0 +1,148 @@
+"""SARIF 2.1.0 and GitHub workflow-command reporters.
+
+``--format sarif`` emits a static-analysis-results interchange log that
+GitHub code scanning ingests (one run, one ``repro-lint`` driver, one
+result per *new* finding, with the baseline fingerprint attached as a
+``partialFingerprints`` entry so alerts survive line drift).
+``--format github`` prints ``::error`` workflow commands, which the
+Actions runner turns into inline PR annotations without any upload
+permission.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .core import Finding, Rule
+
+__all__ = ["format_sarif", "format_github"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+# Fallback descriptions when the caller does not hand rule instances in.
+_RULE_HELP = {
+    "R1": "instrumentation completeness",
+    "R2": "parallel-region purity",
+    "R3": "determinism",
+    "R4": "complexity smells",
+    "R5": "parallel-region escape",
+    "R6": "frozen-array discipline",
+    "R7": "pram-contract-certifier",
+    "R8": "instrumentation drift",
+}
+
+
+def _rule_descriptors(
+    findings: Sequence[Finding], rules: Optional[Sequence[Rule]]
+) -> List[Dict[str, object]]:
+    names: Dict[str, str] = dict(_RULE_HELP)
+    if rules is not None:
+        for rule in rules:
+            names[rule.rule_id] = rule.name or names.get(rule.rule_id, "")
+    seen = sorted({f.rule for f in findings} | set(names))
+    return [
+        {
+            "id": rid,
+            "name": names.get(rid, rid),
+            "shortDescription": {"text": names.get(rid, rid)},
+            "helpUri": "https://example.invalid/docs/STATIC_ANALYSIS.md",
+        }
+        for rid in seen
+    ]
+
+
+def format_sarif(
+    findings: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    """One SARIF run; grandfathered findings appear as suppressed results."""
+    results: List[Dict[str, object]] = []
+    for f, suppressed in [(f, False) for f in findings] + [
+        (f, True) for f in grandfathered
+    ]:
+        result: Dict[str, object] = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f"[{f.symbol}] {f.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": f.fingerprint()},
+        }
+        if suppressed:
+            result["suppressions"] = [
+                {"kind": "external", "justification": "grandfathered baseline"}
+            ]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": _rule_descriptors(
+                            list(findings) + list(grandfathered), rules
+                        ),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+def _escape_data(value: str) -> str:
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(value: str) -> str:
+    return (
+        _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def format_github(
+    findings: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+) -> str:
+    """``::error`` workflow commands — inline PR annotations on Actions."""
+    lines: List[str] = []
+    for f in findings:
+        lines.append(
+            f"::error file={_escape_property(f.path)},"
+            f"line={f.line},col={f.col + 1},"
+            f"title={_escape_property(f'repro-lint {f.rule}')}"
+            f"::{_escape_data(f'[{f.symbol}] {f.message}')}"
+        )
+    if grandfathered:
+        lines.append(
+            f"::notice::{len(grandfathered)} baselined finding(s) suppressed"
+        )
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "no findings"
+    )
+    return "\n".join(lines)

@@ -53,9 +53,12 @@ def _charge(tracker: Tracker, work: float, depth: float) -> None:
 def preduce(
     values: np.ndarray, op: str = "sum", tracker: Tracker = NULL_TRACKER
 ) -> float:
-    """Parallel reduction with O(n) work, O(log n) depth.
+    """Parallel reduction over a spawn tree.
 
     ``op`` is one of ``"sum"``, ``"max"``, ``"min"``.
+
+    Work: O(n)
+    Depth: O(log n)
     """
     n = int(values.size)
     _charge(tracker, n, log2p1(n))
@@ -75,9 +78,12 @@ def preduce(
 def pscan(
     values: np.ndarray, inclusive: bool = False, tracker: Tracker = NULL_TRACKER
 ) -> np.ndarray:
-    """Parallel prefix sum (scan): O(n) work, O(log n) depth [Blelloch].
+    """Parallel prefix sum (scan), up-sweep/down-sweep [Blelloch].
 
     Returns the exclusive scan by default, the inclusive scan otherwise.
+
+    Work: O(n)
+    Depth: O(log n)
     """
     n = int(values.size)
     _charge(tracker, 2 * n, 2 * log2p1(n))
@@ -97,7 +103,10 @@ def ppack(
     """Parallel pack (filter): keep ``values[i]`` where ``mask[i]``.
 
     Implemented on a PRAM with a scan over the mask followed by a
-    scatter — O(n) work, O(log n) depth.
+    scatter.
+
+    Work: O(n)
+    Depth: O(log n)
     """
     if values.shape[0] != mask.shape[0]:
         raise ValueError("values and mask must have equal length")
@@ -109,7 +118,11 @@ def ppack(
 def psort(
     values: np.ndarray, tracker: Tracker = NULL_TRACKER
 ) -> np.ndarray:
-    """Parallel merge sort: O(n log n) work, O(log n) depth [Cole'88]."""
+    """Parallel merge sort [Cole'88].
+
+    Work: O(n log n)
+    Depth: O(log n)
+    """
     n = int(values.size)
     _charge(tracker, n * log2p1(n), 2 * log2p1(n))
     return np.sort(values, kind="mergesort")
@@ -121,9 +134,11 @@ def pintersect_sorted(
     """Intersection of two *sorted unique* arrays.
 
     On a PRAM each element of the smaller array binary-searches the other
-    in parallel and survivors are packed: O(|a| + |b|) work (the paper
-    charges the indicator-table variant, linear in both sizes) and
-    O(log max(|a|,|b|)) depth.
+    in parallel and survivors are packed (the paper charges the
+    indicator-table variant, linear in both sizes). With n = |a| + |b|:
+
+    Work: O(n)
+    Depth: O(log n)
     """
     na, nb = int(a.size), int(b.size)
     _charge(tracker, na + nb, log2p1(max(na, nb)) + 1)
@@ -138,7 +153,10 @@ def phistogram(
 ) -> np.ndarray:
     """Counting histogram of integer keys in ``[0, nbins)``.
 
-    O(n + nbins) work, O(log n) depth (semisort-style accounting).
+    Semisort-style accounting, with b = nbins:
+
+    Work: O(n + b)
+    Depth: O(log n)
     """
     n = int(keys.size)
     _charge(tracker, n + nbins, log2p1(n) + 1)
@@ -148,7 +166,11 @@ def phistogram(
 def pmerge_sorted(
     a: np.ndarray, b: np.ndarray, tracker: Tracker = NULL_TRACKER
 ) -> np.ndarray:
-    """Merge two sorted arrays: O(|a|+|b|) work, O(log(|a|+|b|)) depth."""
+    """Merge two sorted arrays. With n = |a| + |b|:
+
+    Work: O(n)
+    Depth: O(log n)
+    """
     na, nb = int(a.size), int(b.size)
     _charge(tracker, na + nb, log2p1(na + nb))
     out = np.concatenate([a, b])
@@ -163,6 +185,9 @@ def pcompact_ranges(
 
     Given per-task output lengths, return (offsets, total) via a scan —
     the standard pattern for parallel emission of variable-sized results.
+
+    Work: O(n)
+    Depth: O(log n)
     """
     if starts.shape != lengths.shape:
         raise ValueError("starts and lengths must have equal shape")

@@ -1,0 +1,4 @@
+"""Call-graph fixture package: diamond imports, a cycle, aliases.
+
+Never imported at runtime — only parsed by the lint call-graph tests.
+"""

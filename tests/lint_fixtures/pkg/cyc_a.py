@@ -1,0 +1,9 @@
+"""Cycle half A: absolute ``import ... as`` alias."""
+
+import tests.lint_fixtures.pkg.cyc_b as cb
+
+
+def ping(n):
+    if n <= 0:
+        return 0
+    return cb.pong(n - 1)

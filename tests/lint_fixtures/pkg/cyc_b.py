@@ -1,0 +1,9 @@
+"""Cycle half B: closes the mutual recursion across modules."""
+
+from .cyc_a import ping
+
+
+def pong(n):
+    if n <= 0:
+        return 0
+    return ping(n - 1)

@@ -1,0 +1,18 @@
+"""Diamond leaf: the shared sink both branches reach."""
+
+_TALLY = {"total": 0}
+
+
+def tally(x):
+    _TALLY["total"] += x  # the seeded R5 defect, two hops below _worker
+    return x
+
+
+def pure_leaf(x):
+    return x + 1
+
+
+def reset_registry():
+    # Mutates the same global, but is NOT reachable from any worker
+    # entry point — R5 must stay silent here.
+    _TALLY.clear()

@@ -1,0 +1,7 @@
+"""Left edge of the diamond: plain relative import."""
+
+from .leaf import tally
+
+
+def go_left(x):
+    return tally(x)

@@ -1,0 +1,8 @@
+"""Right edge of the diamond: aliased imports (module and function)."""
+
+from . import leaf as lf
+from .leaf import tally as count_up
+
+
+def go_right(x):
+    return count_up(x) + lf.pure_leaf(x)

@@ -1,0 +1,12 @@
+"""Worker entry: ``_worker`` is dispatched through parallel_map_reduce."""
+
+from .left import go_left
+from .right import go_right
+
+
+def _worker(chunk):
+    return sum(go_left(x) + go_right(x) for x in chunk)
+
+
+def run(executor, chunks):
+    return executor.parallel_map_reduce(_worker, chunks)

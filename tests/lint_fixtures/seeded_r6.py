@@ -1,0 +1,61 @@
+"""Seeded R6 fixture: frozen-array discipline violations and negatives."""
+
+import numpy as np
+
+
+class LeakyTable:
+    """An immutable lookup table (frozen by convention, not in practice)."""
+
+    def __init__(self, values):
+        self.data = np.asarray(values)  # born here, never sealed
+        self.index = np.arange(4)
+        self.index.setflags(write=False)  # sealed: never flagged
+
+    def rows(self):
+        return self.data  # writable alias into shared state
+
+    def head(self):
+        return self.data[:2]  # a subscript view aliases it too
+
+    def safe(self):
+        return self.index
+
+
+class SealedTable:
+    """A read-only table done right: negative control."""
+
+    def __init__(self, values):
+        self.data = np.asarray(values)
+        self.data.setflags(write=False)
+
+    def rows(self):
+        return self.data
+
+
+class ScratchBuffer:
+    """Reusable scratch space the owner may overwrite freely."""
+
+    def __init__(self, n):
+        self.buf = np.zeros(n)
+
+    def bump(self):
+        self.buf += 1
+
+
+def scale_in_place(table, factor):
+    """Scale rows of a table the caller still owns.
+
+    Frozen: table
+    """
+    table[0] = factor
+    table.sort()
+    np.multiply(table, factor, out=table)
+    return table
+
+
+def scale_copy(table, factor):
+    """The pure version: negative control.
+
+    Frozen: table
+    """
+    return table * factor

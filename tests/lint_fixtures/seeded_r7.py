@@ -1,0 +1,55 @@
+"""Seeded R7 fixture: PRAM contract violations and certified negatives."""
+
+
+def pairwise_overlap(items):
+    """All-pairs overlap, quadratic body under a linear contract.
+
+    Work: O(n)
+    Depth: O(log n)
+    """
+    total = 0
+    for a in items:
+        for b in items:
+            total += int(a == b)
+    return total
+
+
+def linear_scan(items):
+    """A loop the contract covers: negative control.
+
+    Work: O(n)
+    """
+    total = 0
+    for a in items:
+        total += a
+    return total
+
+
+def structural_unroll(x):
+    """Constant unrolls are structural, not data-dependent.
+
+    Work: O(1)
+    Depth: O(1)
+    """
+    acc = 0
+    for shift in (0, 16, 32, 48):
+        acc += x >> shift
+    return acc
+
+
+def quadratic_helper(items):
+    """All-pairs products (comprehensions are opaque to the nest count).
+
+    Work: O(n^2)
+    Depth: O(log n)
+    """
+    return [[a * b for b in items] for a in items]
+
+
+def claims_linear(items):
+    """Calls a quadratic helper while declaring linear work.
+
+    Work: O(n)
+    Depth: O(log n)
+    """
+    return quadratic_helper(items)

@@ -1,0 +1,77 @@
+"""Fingerprint identity and baseline round-trip properties.
+
+The baseline's contract is that a fingerprint identifies a finding by
+*what* it says (rule, path, symbol, message), never *where* it says it
+(line/col) — and that no two materially different findings share one.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.lint import Finding, load_baseline, partition, run_lint, save_baseline
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+
+
+def test_field_separator_prevents_shift_collisions():
+    # Without a separator these pairs would hash the same concatenation.
+    a = Finding("R3", "x.py", 1, 0, "sym", "msg")
+    b = Finding("R3", "x.py", 1, 0, "symm", "sg")
+    assert a.fingerprint() != b.fingerprint()
+    c = Finding("R3", "x.pya", 1, 0, "b", "msg")
+    d = Finding("R3", "x.py", 1, 0, "ab", "msg")
+    assert c.fingerprint() != d.fingerprint()
+
+
+def test_fingerprints_injective_over_fixture_corpus():
+    findings = run_lint([FIXTURES])
+    identities = {(f.rule, f.path, f.symbol, f.message) for f in findings}
+    prints = {f.fingerprint() for f in findings}
+    # One fingerprint per distinct identity (same-identity findings on
+    # different lines deliberately collapse — that is the design).
+    assert len(prints) == len(identities)
+    assert len(identities) > 10  # the corpus is non-trivial
+
+
+def _random_finding(rng: random.Random) -> Finding:
+    def field(chars: str = "abcxyz_./") -> str:
+        return "".join(rng.choice(chars) for _ in range(rng.randint(0, 8)))
+
+    return Finding(
+        rule=rng.choice(["R1", "R3", "R5", "R6", "R7", "R8"]),
+        path=f"src/{field('abc')}.py",
+        line=rng.randint(1, 500),
+        col=rng.randint(0, 80),
+        symbol=field(),
+        message=field(),
+    )
+
+
+def test_baseline_roundtrip_is_order_insensitive(tmp_path):
+    rng = random.Random(20260808)
+    findings = [_random_finding(rng) for _ in range(150)]
+    path = str(tmp_path / "b.json")
+    save_baseline(path, findings)
+    baseline = load_baseline(path)
+    shuffled = list(findings)
+    rng.shuffle(shuffled)
+    new, old = partition(shuffled, baseline)
+    assert new == []
+    assert len(old) == len(findings)
+
+
+def test_partition_budget_counts_per_fingerprint(tmp_path):
+    f = Finding("R5", "a.py", 3, 0, "w", "writes into module global '_X'")
+    path = str(tmp_path / "b.json")
+    save_baseline(path, [f, f])
+    baseline = load_baseline(path)
+    assert baseline[f.fingerprint()] == 2
+    new, old = partition([f, f, f], baseline)
+    assert len(new) == 1 and len(old) == 2
+    # A line shift alone never consumes extra budget.
+    shifted = Finding("R5", "a.py", 99, 4, "w", "writes into module global '_X'")
+    new, old = partition([f, shifted], baseline)
+    assert new == [] and len(old) == 2

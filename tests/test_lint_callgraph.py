@@ -1,0 +1,104 @@
+"""The project symbol table and conservative call graph on fixtures.
+
+The fixture package (``tests/lint_fixtures/pkg``) is shaped to exercise
+exactly the resolution features the interprocedural rules lean on:
+diamond imports converging on one leaf, a two-module call cycle, both
+alias forms (``import x as y`` and ``from .m import f as g``), a
+dispatcher call marking a worker entry point, and a callback edge.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.lint.callgraph import Project
+from repro.lint.core import collect_python_files, parse_module
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+PKG = os.path.join(HERE, "lint_fixtures", "pkg")
+P = "tests.lint_fixtures.pkg"
+
+
+def _project() -> Project:
+    mods = [parse_module(p) for p in collect_python_files([PKG])]
+    return Project(mods)
+
+
+def test_module_names_follow_package_structure():
+    proj = _project()
+    assert {f"{P}.leaf", f"{P}.left", f"{P}.right", f"{P}.work"} <= set(
+        proj.infos
+    )
+    assert f"{P}.leaf.tally" in proj.functions
+    assert proj.functions[f"{P}.leaf.tally"].display == "tally"
+
+
+def test_diamond_edges_resolve_through_both_alias_forms():
+    proj = _project()
+    assert proj.callees(f"{P}.work._worker") == [
+        f"{P}.left.go_left",
+        f"{P}.right.go_right",
+    ]
+    # Plain relative import.
+    assert proj.callees(f"{P}.left.go_left") == [f"{P}.leaf.tally"]
+    # ``from . import leaf as lf`` + ``from .leaf import tally as count_up``.
+    assert proj.callees(f"{P}.right.go_right") == [
+        f"{P}.leaf.pure_leaf",
+        f"{P}.leaf.tally",
+    ]
+
+
+def test_cycle_resolves_and_reachability_terminates():
+    proj = _project()
+    ping, pong = f"{P}.cyc_a.ping", f"{P}.cyc_b.pong"
+    # ``import tests.lint_fixtures.pkg.cyc_b as cb`` resolves ``cb.pong``.
+    assert proj.callees(ping) == [pong]
+    assert proj.callees(pong) == [ping]
+    assert proj.reachable(ping) == {pong: (ping, pong)}
+    assert proj.reachable(pong) == {ping: (pong, ping)}
+
+
+def test_worker_entry_points_found_via_dispatcher():
+    proj = _project()
+    assert proj.worker_entry_points() == [f"{P}.work._worker"]
+
+
+def test_callback_edge_from_dispatch_site():
+    proj = _project()
+    # ``run`` passes ``_worker`` by name: the graph assumes it is called.
+    assert f"{P}.work._worker" in proj.callees(f"{P}.work.run")
+
+
+def test_reachability_matches_bfs_oracle_with_shortest_chains():
+    proj = _project()
+    entry = f"{P}.work._worker"
+
+    # Independent BFS oracle over the same callee adjacency.
+    dist = {entry: 0}
+    frontier = [entry]
+    while frontier:
+        nxt = []
+        for fq in frontier:
+            for callee in proj.callees(fq):
+                if callee not in dist:
+                    dist[callee] = dist[fq] + 1
+                    nxt.append(callee)
+        frontier = nxt
+    expected = {fq for fq in dist if fq != entry}
+
+    reached = proj.reachable(entry)
+    assert set(reached) == expected
+    assert f"{P}.leaf.tally" in reached and f"{P}.leaf.pure_leaf" in reached
+    assert f"{P}.leaf.reset_registry" not in reached
+    for fq, chain in reached.items():
+        assert chain[0] == entry and chain[-1] == fq
+        assert len(chain) == dist[fq] + 1  # one *shortest* witness chain
+        for a, b in zip(chain, chain[1:]):
+            assert b in proj.callees(a)  # every hop is a real edge
+
+
+def test_max_depth_bounds_the_walk():
+    proj = _project()
+    entry = f"{P}.work._worker"
+    shallow = proj.reachable(entry, max_depth=1)
+    assert set(shallow) == {f"{P}.left.go_left", f"{P}.right.go_right"}
