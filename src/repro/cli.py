@@ -11,6 +11,10 @@
   — a (graphs × ks × algorithms) matrix, optionally emitting a
   machine-readable ``BENCH_<timestamp>.json`` and gating against a
   committed baseline (exit 3 on regression; see docs/OBSERVABILITY.md);
+* ``mutate <graph> -k K (--trace FILE | --random N)`` — replay (or
+  synthesize) a batch insert/delete mutation trace through the dynamic
+  layer, maintaining counts incrementally; ``--verify`` gates every
+  batch with the dynamic-vs-scratch oracle (exit 5 on divergence);
 * ``profile <graph> -k K`` — span tree + hot-loop metrics of one run;
 * ``selfcheck`` — fuzz every engine against each other + the oracle;
 * ``fuzz --budget N --seed S [--oracle NAME] [--emit-regression [DIR]]``
@@ -229,6 +233,82 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(report.summary())
             if not report.ok:
                 exit_code = 3
+    return exit_code
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    import json
+
+    from .dynamic import DynamicGraph, VerificationError, random_trace
+    from .obs import MetricsRegistry
+
+    g = _load_graph(args.graph)
+    ks = args.k or [4]
+    if (args.trace is None) == (args.random is None):
+        print(
+            "error: pass exactly one of --trace FILE or --random N",
+            file=sys.stderr,
+        )
+        return 1
+    if args.trace is not None:
+        with open(args.trace, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        if isinstance(trace, dict):
+            trace = trace["trace"]
+    else:
+        trace = random_trace(
+            g, batches=args.random, batch_size=args.batch, seed=args.seed
+        )
+
+    registry = MetricsRegistry()
+    tracker = Tracker()
+    tracker.attach_metrics(registry)
+    dyn = DynamicGraph(g, tracker=tracker, verify=args.verify)
+    for k in ks:
+        dyn.count(k)
+
+    rows = []
+    exit_code = 0
+    try:
+        for step in trace:
+            record = dyn.apply_trace([step])[0]
+            report = dyn.last_report
+            rows.append(
+                [
+                    record.version,
+                    record.op,
+                    len(record.batch),
+                    " ".join(f"k{k}:{d:+d}" for k, d in record.deltas) or "-",
+                    report.affected_triangles if report else 0,
+                    f"{report.patched_ratio:.2f}" if report else "-",
+                ]
+            )
+    except VerificationError as exc:
+        print(f"verification failed: {exc}", file=sys.stderr)
+        exit_code = 5
+    print(
+        format_table(
+            ["version", "op", "batch", "count deltas", "tri delta", "patched"],
+            rows,
+        )
+    )
+    for k in ks:
+        print(f"{k}-cliques after {dyn.version} batch(es): {dyn.count(k)}")
+    if args.emit_trace is not None:
+        with open(args.emit_trace, "w", encoding="utf-8") as fh:
+            json.dump({"trace": dyn.trace()}, fh, indent=2, sort_keys=True)
+        print(f"trace written: {args.emit_trace}")
+    if args.json is not None:
+        payload = {
+            "graph": args.graph,
+            "version": dyn.version,
+            "counts": {str(k): dyn.count(k) for k in ks},
+            "trace": dyn.trace(),
+            "metrics": registry.to_dict(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"mutation report written: {args.json}")
     return exit_code
 
 
@@ -478,6 +558,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--note", default="", help="free-form note stored in the record")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "mutate",
+        help="replay or synthesize a batch-mutation trace with incremental "
+        "clique maintenance (exit 5 on verification failure)",
+    )
+    p.add_argument("graph", help="graph file or built-in dataset name")
+    p.add_argument(
+        "-k",
+        type=int,
+        action="append",
+        help="clique size to maintain; repeatable (default: 4)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="JSON mutation trace to replay (as emitted by --emit-trace)",
+    )
+    p.add_argument(
+        "--random",
+        type=int,
+        default=None,
+        metavar="N",
+        help="synthesize N seeded random batches instead of replaying",
+    )
+    p.add_argument(
+        "--batch", type=int, default=4, help="edges per random batch (default 4)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for --random")
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="gate every batch with the dynamic-vs-scratch oracle",
+    )
+    p.add_argument(
+        "--emit-trace",
+        default=None,
+        metavar="FILE",
+        help="write the applied trace as replayable JSON",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="REPORT.json",
+        help="write counts + dynamic.* metrics + trace as JSON",
+    )
+    p.set_defaults(func=_cmd_mutate)
 
     p = sub.add_parser(
         "profile", help="one observed run: span tree + hot-loop metrics"

@@ -39,6 +39,7 @@ on purpose.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
@@ -60,14 +61,40 @@ __all__ = [
     "PreparedGraph",
     "PreparedCache",
     "prepare",
+    "adopt_prepared",
+    "invalidate_prepared",
     "clear_prepared_cache",
     "prepared_cache_info",
     "ORDER_VARIANTS",
     "EDGE_ORDER_KINDS",
+    "PIECE_KINDS",
 ]
 
 ORDER_VARIANTS = ("degeneracy", "approx")
 EDGE_ORDER_KINDS = ("exact", "approx")
+
+# Piece kind -> the instance store holding it; the vocabulary the
+# patch-in-place engine (repro.dynamic.patch) and the invalidation API
+# share. "kernel" entries are keyed per clique size k, the rest per
+# order variant / edge-order kind.
+PIECE_KINDS = (
+    "order",
+    "dag",
+    "triangles",
+    "communities",
+    "edge_order",
+    "frontier_tables",
+    "kernel",
+)
+_PIECE_STORES = {
+    "order": "_orders",
+    "dag": "_dags",
+    "triangles": "_triangles",
+    "communities": "_communities",
+    "edge_order": "_edge_orders",
+    "frontier_tables": "_frontier_tables",
+    "kernel": "_kernels",
+}
 
 
 class PreparedGraph:
@@ -79,8 +106,10 @@ class PreparedGraph:
     """
 
     __slots__ = (
-        "graph",
+        "_graph",
+        "_graph_ref",
         "eps",
+        "version",
         "hits",
         "misses",
         "_orders",
@@ -92,11 +121,19 @@ class PreparedGraph:
         "_kernels",
     )
 
-    def __init__(self, graph: CSRGraph, eps: float = 0.5) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        eps: float = 0.5,
+        pin: bool = True,
+        version: int = 0,
+    ) -> None:
         if eps <= 0:
             raise ValueError(f"eps must be positive, got {eps}")
-        self.graph = graph
+        self._graph: Optional[CSRGraph] = graph if pin else None
+        self._graph_ref = weakref.ref(graph)
         self.eps = float(eps)
+        self.version = int(version)
         self.hits = 0
         self.misses = 0
         self._orders: Dict[str, Any] = {}
@@ -106,6 +143,81 @@ class PreparedGraph:
         self._edge_orders: Dict[str, EdgeOrderResult] = {}
         self._frontier_tables: Dict[str, Any] = {}
         self._kernels: Dict[int, Any] = {}
+
+    @property
+    def graph(self) -> Optional[CSRGraph]:
+        """The prepared graph (``None`` once an unpinned graph is collected).
+
+        Contexts built directly (``PreparedGraph(g)``) *pin* their graph —
+        the attribute behaves exactly as the strong reference it used to
+        be. Cache-owned contexts are built with ``pin=False`` so that the
+        cache never keeps a graph alive: the entry auto-invalidates when
+        the caller drops the last strong reference.
+        """
+        if self._graph is not None:
+            return self._graph
+        return self._graph_ref()
+
+    def unpin(self) -> None:
+        """Drop the pinning reference; the graph lives only via callers."""
+        self._graph = None
+
+    # -- patch-in-place support (repro.dynamic) ----------------------------
+
+    def install_piece(self, kind: str, key: Any, value: Any) -> None:
+        """Adopt an externally built (patched) piece into this context.
+
+        ``kind`` is one of :data:`PIECE_KINDS`; ``key`` is the order
+        variant / edge-order kind (or ``k`` for kernels). The dynamic
+        patch engine uses this to carry forward pieces it proved still
+        valid (or rebuilt incrementally) across a graph mutation, so a
+        warm context survives a batch without a cold rebuild.
+        """
+        if kind not in _PIECE_STORES:
+            raise ValueError(
+                f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
+            )
+        getattr(self, _PIECE_STORES[kind])[key] = value
+
+    def peek(self, kind: str, key: Any) -> Any:
+        """A memoized piece if already built, else ``None`` (never builds).
+
+        Lets the patch engine decide what to carry across a mutation
+        without forcing cold builds of pieces no query ever asked for.
+        """
+        if kind not in _PIECE_STORES:
+            raise ValueError(
+                f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
+            )
+        return getattr(self, _PIECE_STORES[kind]).get(key)
+
+    def piece_keys(self, kind: str) -> Tuple[Any, ...]:
+        """Sorted keys of the memoized pieces of one kind."""
+        if kind not in _PIECE_STORES:
+            raise ValueError(
+                f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
+            )
+        return tuple(sorted(getattr(self, _PIECE_STORES[kind])))
+
+    def invalidate_pieces(self, kinds: Optional[Tuple[str, ...]] = None) -> int:
+        """Drop memoized pieces (all of them, or only the given kinds).
+
+        Returns the number of entries dropped — the ``patched-vs-rebuilt``
+        accounting of the dynamic layer reports this as
+        ``dynamic.invalidated_pieces``. Dropped pieces rebuild lazily on
+        next use, exactly like a cold miss.
+        """
+        chosen = PIECE_KINDS if kinds is None else kinds
+        dropped = 0
+        for kind in chosen:
+            if kind not in _PIECE_STORES:
+                raise ValueError(
+                    f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
+                )
+            store = getattr(self, _PIECE_STORES[kind])
+            dropped += len(store)
+            store.clear()
+        return dropped
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -297,9 +409,10 @@ class PreparedGraph:
         return (self.gamma("degeneracy", tracker) + 63) // 64
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        g = self.graph
+        shape = "dead" if g is None else f"n={g.num_vertices}, m={g.num_edges}"
         return (
-            f"PreparedGraph(n={self.graph.num_vertices}, "
-            f"m={self.graph.num_edges}, eps={self.eps}, "
+            f"PreparedGraph({shape}, eps={self.eps}, "
             f"hits={self.hits}, misses={self.misses})"
         )
 
@@ -307,11 +420,18 @@ class PreparedGraph:
 class PreparedCache:
     """Bounded LRU of :class:`PreparedGraph` contexts, keyed per graph.
 
-    Graphs are immutable and hash by identity, so ``(id(graph), eps)`` is
-    a sound key as long as the cached entry pins the graph alive (it
-    does: the entry holds a strong reference, hence a live id can never
-    be reused by a different graph). Eviction is LRU so a long-running
-    query server touching many graphs stays bounded.
+    Graphs are immutable and hash by identity, so ``(id(graph), eps,
+    version)`` keys the cache. Entries hold their graph only through a
+    **weak reference**: dropping the last outside reference to a graph
+    collects it and auto-invalidates its entries (the seed code pinned
+    graphs alive forever, and the ``id()``-keyed lookup *depended* on
+    that immortality — a reused id could otherwise serve another graph's
+    preprocessing). A weakref callback removes dead entries eagerly, and
+    ``get`` double-checks identity (``entry.graph is graph``) so even a
+    not-yet-fired callback can never produce a wrong hit. Eviction is
+    LRU so a long-running query server touching many graphs stays
+    bounded; :meth:`invalidate` drops a graph's entries explicitly (the
+    dynamic mutation layer calls it on superseded snapshots).
     """
 
     def __init__(self, maxsize: int = 32) -> None:
@@ -320,18 +440,62 @@ class PreparedCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
-        self._entries: "OrderedDict[Tuple[int, float], PreparedGraph]" = (
+        self.invalidations = 0
+        self._entries: "OrderedDict[Tuple[int, float, int], PreparedGraph]" = (
             OrderedDict()
         )
+        self._refs: Dict[Tuple[int, float, int], "weakref.ref[CSRGraph]"] = {}
+
+    # -- lifetime plumbing -------------------------------------------------
+
+    def _watch(self, graph: CSRGraph, key: Tuple[int, float, int]) -> None:
+        """Register the auto-invalidation callback for ``key``."""
+        selfref = weakref.ref(self)
+
+        def _on_collect(ref: "weakref.ref[CSRGraph]") -> None:
+            cache = selfref()
+            if cache is not None:
+                cache._drop_dead(key, ref)
+
+        self._refs[key] = weakref.ref(graph, _on_collect)
+
+    def _drop_dead(
+        self, key: Tuple[int, float, int], ref: "weakref.ref[CSRGraph]"
+    ) -> None:
+        # Only drop if the slot still belongs to the collected graph: the
+        # id may have been reused and the key re-bound to a live entry.
+        if self._refs.get(key) is ref:
+            self._refs.pop(key, None)
+            if self._entries.pop(key, None) is not None:
+                self.invalidations += 1
+
+    def _remove(self, key: Tuple[int, float, int]) -> None:
+        self._entries.pop(key, None)
+        self._refs.pop(key, None)
 
     def get(
         self,
         graph: CSRGraph,
         eps: float = 0.5,
         tracker: Tracker = NULL_TRACKER,
+        version: Optional[int] = None,
     ) -> PreparedGraph:
-        """The shared context for ``(graph, eps)``, building it on a miss."""
-        key = (id(graph), float(eps))
+        """The shared context for ``(graph, eps)``, building it on a miss.
+
+        ``version=None`` (the façade default) matches *any* live version
+        of the graph, preferring the newest — so a patched context the
+        dynamic layer adopted under a bumped version token keeps serving
+        warm hits. Pass an explicit version to pin one snapshot.
+        """
+        gid = id(graph)
+        feps = float(eps)
+        if version is None:
+            matches = sorted(
+                k for k in self._entries if k[0] == gid and k[1] == feps
+            )
+            key = matches[-1] if matches else (gid, feps, 0)
+        else:
+            key = (gid, feps, int(version))
         entry = self._entries.get(key)
         metrics = tracker.metrics
         if entry is not None and entry.graph is graph:
@@ -340,20 +504,71 @@ class PreparedCache:
             if metrics is not None:
                 metrics.counter("prepared.graph.hit").inc()
             return entry
+        if entry is not None:
+            # A stale slot (dead graph whose callback has not fired, or a
+            # reused id): never serve another graph's preprocessing.
+            self._remove(key)
+            self.invalidations += 1
         self.misses += 1
         if metrics is not None:
             metrics.counter("prepared.graph.miss").inc()
-        entry = PreparedGraph(graph, eps=eps)
-        self._entries[key] = entry
-        if len(self._entries) > self.maxsize:
-            # At most one over: get() only ever inserts a single entry.
-            self._entries.popitem(last=False)
+        build_version = 0 if version is None else int(version)
+        entry = PreparedGraph(graph, eps=eps, pin=False, version=build_version)
+        self.put(graph, entry, eps=eps, version=build_version)
         return entry
+
+    def put(
+        self,
+        graph: CSRGraph,
+        entry: PreparedGraph,
+        eps: float = 0.5,
+        version: int = 0,
+    ) -> PreparedGraph:
+        """Adopt an externally built context (e.g. a patched one) for ``graph``.
+
+        The dynamic mutation layer uses this to swap a mutated snapshot's
+        patched context into the façade cache, so post-mutation API
+        queries stay warm. The entry is unpinned: adopting it never
+        extends the graph's lifetime.
+        """
+        if entry.graph is not graph:
+            raise ValueError("prepared context was built for a different graph")
+        entry.unpin()
+        key = (id(graph), float(eps), int(version))
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self._watch(graph, key)
+        if len(self._entries) > self.maxsize:
+            # At most one over: put() only ever inserts a single entry.
+            old_key, _ = self._entries.popitem(last=False)
+            self._refs.pop(old_key, None)
+        return entry
+
+    def invalidate(self, graph: CSRGraph) -> int:
+        """Drop every entry of ``graph`` (all eps/version keys); return count.
+
+        Explicit invalidation for callers that know a graph is obsolete
+        (a mutated :class:`~repro.dynamic.DynamicGraph` snapshot) and do
+        not want to wait for garbage collection. Hit/miss counters are
+        preserved; ``invalidations`` counts the dropped entries.
+        """
+        gid = id(graph)
+        stale = [
+            key
+            for key, ref in self._refs.items()
+            if key[0] == gid and ref() is graph
+        ]
+        for key in stale:
+            self._remove(key)
+        self.invalidations += len(stale)
+        return len(stale)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._refs.clear()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -363,6 +578,7 @@ class PreparedCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "invalidations": self.invalidations,
             "size": len(self._entries),
             "maxsize": self.maxsize,
         }
@@ -384,6 +600,26 @@ def prepare(
     return (_DEFAULT_CACHE if cache is None else cache).get(
         graph, eps=eps, tracker=tracker
     )
+
+
+def adopt_prepared(
+    graph: CSRGraph,
+    entry: PreparedGraph,
+    eps: float = 0.5,
+    cache: Optional[PreparedCache] = None,
+    version: int = 0,
+) -> PreparedGraph:
+    """Install an externally built context into the (default) cache."""
+    return (_DEFAULT_CACHE if cache is None else cache).put(
+        graph, entry, eps=eps, version=version
+    )
+
+
+def invalidate_prepared(
+    graph: CSRGraph, cache: Optional[PreparedCache] = None
+) -> int:
+    """Drop the cached context(s) of ``graph``; returns how many existed."""
+    return (_DEFAULT_CACHE if cache is None else cache).invalidate(graph)
 
 
 def clear_prepared_cache() -> None:

@@ -1,0 +1,38 @@
+"""Dynamic-graph layer: batch mutations with incremental clique state.
+
+Three modules implement the ROADMAP's "incremental clique maintenance"
+item on top of the paper's edge-community structure:
+
+* :mod:`repro.dynamic.delta` — exact community-localized count/listing
+  deltas of a mutation batch (the Shi–Dhulipala–Shun batch template);
+* :mod:`repro.dynamic.patch` — patch-in-place maintenance of a warm
+  :class:`~repro.core.prepared.PreparedGraph` across a batch;
+* :mod:`repro.dynamic.graph` — the versioned :class:`DynamicGraph`
+  wrapper, mutation traces, and the dynamic-vs-scratch gate.
+"""
+
+from .delta import DeltaResult, cliques_through_edges, count_delta
+from .graph import (
+    DynamicGraph,
+    MutationError,
+    MutationRecord,
+    VerificationError,
+    random_trace,
+    replay_trace,
+)
+from .patch import PACK_LIMIT, PatchReport, patch_prepared
+
+__all__ = [
+    "DeltaResult",
+    "cliques_through_edges",
+    "count_delta",
+    "DynamicGraph",
+    "MutationError",
+    "MutationRecord",
+    "VerificationError",
+    "random_trace",
+    "replay_trace",
+    "PACK_LIMIT",
+    "PatchReport",
+    "patch_prepared",
+]

@@ -11,6 +11,9 @@ messages`` (empty list = the property holds). Two kinds:
 * **Metamorphic** — known input→output relations that need no external
   oracle: vertex-relabeling invariance, disjoint-union additivity,
   edge-deletion monotonicity (with the exact listing-derived delta),
+  its batch generalization dynamic-vs-scratch (incremental maintenance
+  through :mod:`repro.dynamic` equals cold recompute after every
+  mutation batch, and undoing the trace round-trips exactly),
   planted-clique detection, and spectrum consistency
   (``clique_spectrum(g)[k] == count_cliques(g, k)``).
 
@@ -41,6 +44,7 @@ from ..core.frontier import frontier_count_cliques, frontier_list_cliques
 from ..core.parallel import count_cliques_parallel
 from ..core.prepared import PreparedGraph
 from ..core.variants import run_variant
+from ..dynamic import DynamicGraph, random_trace
 from ..graphs.builder import complete_graph
 from ..graphs.csr import CSRGraph
 from ..pram.tracker import Tracker
@@ -301,6 +305,69 @@ def oracle_deletion(
     return []
 
 
+def oracle_dynamic_vs_scratch(
+    graph: CSRGraph, k: int, rng: np.random.Generator
+) -> List[str]:
+    """Incremental mutation state equals recompute-from-scratch.
+
+    The single-edge :func:`oracle_deletion` generalized to the dynamic
+    layer: a seeded trace of insert/delete batches runs through
+    :class:`~repro.dynamic.DynamicGraph`, and after *every* batch the
+    incrementally maintained count and listing — and a query through the
+    patched warm context — must equal a cold recompute on the mutated
+    snapshot. Finally the trace is undone in reverse and the state must
+    round-trip to the original count and listing exactly.
+    """
+    before = _observed("frontier", graph, k, frontier_count_cliques(graph, k))
+    baseline_listing = list_cliques(graph, k)
+    dyn = DynamicGraph(graph)
+    dyn.count(k)
+    dyn.cliques(k)
+    trace = random_trace(
+        graph, batches=2, batch_size=3, seed=int(rng.integers(2**31))
+    )
+    violations: List[str] = []
+    for step in trace:
+        dyn.apply_trace([step])
+        cold = PreparedGraph(dyn.graph)
+        scratch = _observed(
+            "frontier",
+            dyn.graph,
+            k,
+            frontier_count_cliques(dyn.graph, k, prepared=cold),
+        )
+        where = f"after {step['op']} of {len(step['batch'])} edges"
+        if dyn.count(k) != scratch:
+            violations.append(
+                f"incremental {k}-clique count {where} is {dyn.count(k)}, "
+                f"scratch recount is {scratch}"
+            )
+        warm = frontier_count_cliques(dyn.graph, k, prepared=dyn.prepared)
+        if warm != scratch:
+            violations.append(
+                f"patched warm context counts {warm} {k}-cliques {where}, "
+                f"scratch recount is {scratch}"
+            )
+        if dyn.cliques(k) != list_cliques(dyn.graph, k, prepared=cold):
+            violations.append(
+                f"incremental {k}-clique listing {where} differs from the "
+                f"scratch listing"
+            )
+    for step in reversed(trace):
+        inverse = "delete" if step["op"] == "insert" else "insert"
+        dyn.apply_trace([{"op": inverse, "batch": step["batch"]}])
+    if dyn.count(k) != before:
+        violations.append(
+            f"undoing the trace did not round-trip the {k}-clique count: "
+            f"{before} -> {dyn.count(k)}"
+        )
+    if dyn.cliques(k) != baseline_listing:
+        violations.append(
+            f"undoing the trace did not round-trip the {k}-clique listing"
+        )
+    return violations
+
+
 def oracle_planted(
     graph: CSRGraph, k: int, rng: np.random.Generator
 ) -> List[str]:
@@ -369,6 +436,7 @@ ORACLES: Dict[str, Callable[[CSRGraph, int, np.random.Generator], List[str]]] = 
     "relabel": oracle_relabel,
     "union": oracle_union,
     "deletion": oracle_deletion,
+    "dynamic-vs-scratch": oracle_dynamic_vs_scratch,
     "planted": oracle_planted,
     "spectrum": oracle_spectrum,
 }

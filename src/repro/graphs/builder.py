@@ -42,6 +42,15 @@ def from_edges(
     us, vs = _as_edge_arrays(edges)
     if us.size and (us.min() < 0 or vs.min() < 0):
         raise ValueError("vertex ids must be non-negative")
+    # int64 input whose ids do not fit int32 would silently wrap in the
+    # CSR cast below; reject it here with the offending value instead.
+    if us.size:
+        hi = int(max(us.max(), vs.max()))
+        if hi > np.iinfo(np.int32).max:
+            raise ValueError(
+                f"vertex id {hi} exceeds the int32 vertex-id limit "
+                f"{np.iinfo(np.int32).max}"
+            )
 
     keep = us != vs
     us, vs = us[keep], vs[keep]

@@ -20,13 +20,45 @@ import numpy as np
 __all__ = ["CSRGraph"]
 
 
-class CSRGraph:
-    """An immutable, simple (no loops/multi-edges), undirected CSR graph."""
+_INT32_MAX = np.iinfo(np.int32).max
 
-    __slots__ = ("indptr", "indices", "_num_edges")
+
+def _check_int32_range(values: np.ndarray, what: str) -> None:
+    """Reject vertex ids that an int32 cast would silently wrap.
+
+    Runs *before* any ``astype(np.int32)`` narrowing: a vertex id of
+    2³¹ from int64 input used to wrap to -2147483648 and either trip an
+    unrelated "index out of range" error or — on the ``validate=False``
+    fast path every internal builder takes — silently corrupt the graph.
+    """
+    if values.size == 0 or values.dtype == np.int32:
+        return
+    hi = int(values.max())
+    if hi > _INT32_MAX:
+        raise ValueError(
+            f"{what} {hi} exceeds the int32 vertex-id limit {_INT32_MAX}"
+        )
+    lo = int(values.min())
+    if lo < -_INT32_MAX - 1:
+        raise ValueError(
+            f"{what} {lo} underflows the int32 vertex-id range"
+        )
+
+
+class CSRGraph:
+    """An immutable, simple (no loops/multi-edges), undirected CSR graph.
+
+    Weak-referenceable so caches (:class:`repro.core.prepared.PreparedCache`)
+    can key derived state on a graph without pinning it alive forever.
+    """
+
+    __slots__ = ("indptr", "indices", "_num_edges", "__weakref__")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, validate: bool = True):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices)
+        if indices.dtype.kind in "iu":
+            _check_int32_range(indices, "neighbor index")
         indices = np.ascontiguousarray(indices, dtype=np.int32)
         if validate:
             self._validate(indptr, indices)

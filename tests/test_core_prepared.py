@@ -327,3 +327,94 @@ class TestObservability:
         assert snap["prepared.graph.hit"]["value"] == 1
         assert snap["prepared.piece.miss"]["value"] >= 4
         assert snap["prepared.piece.hit"]["value"] >= 1
+
+
+class TestCacheLifetime:
+    """Regression tests for the weakref-based cache lifetime semantics.
+
+    The seed cache strong-referenced graphs forever: entries were
+    immortal until LRU eviction, and the id()-keyed lookup silently
+    depended on that immortality (a collected graph's reused id could
+    have served another graph's preprocessing).
+    """
+
+    def test_dropped_graph_frees_its_entry(self):
+        import gc
+
+        cache = PreparedCache()
+        g = gnm_random_graph(12, 30, seed=3)
+        entry = cache.get(g)
+        entry.triangles()
+        assert len(cache) == 1
+        del g, entry
+        gc.collect()
+        assert len(cache) == 0
+        assert cache.info()["invalidations"] == 1
+
+    def test_facade_cache_does_not_pin_graphs(self):
+        import gc
+        import weakref
+
+        clear_prepared_cache()
+        g = gnm_random_graph(12, 30, seed=4)
+        ref = weakref.ref(g)
+        count_cliques(g, 4)
+        assert prepared_cache_info()["size"] == 1
+        del g
+        gc.collect()
+        assert ref() is None, "façade cache must not keep graphs alive"
+        assert prepared_cache_info()["size"] == 0
+
+    def test_counters_stay_correct_across_invalidations(self):
+        import gc
+
+        cache = PreparedCache()
+        keep = gnm_random_graph(12, 30, seed=5)
+        cache.get(keep)
+        drop = gnm_random_graph(12, 30, seed=6)
+        cache.get(drop)
+        assert cache.info()["misses"] == 2
+        del drop
+        gc.collect()
+        cache.get(keep)
+        info = cache.info()
+        assert info == {
+            "hits": 1,
+            "misses": 2,
+            "invalidations": 1,
+            "size": 1,
+            "maxsize": cache.maxsize,
+        }
+
+    def test_explicit_invalidate(self):
+        cache = PreparedCache()
+        g = gnm_random_graph(12, 30, seed=7)
+        first = cache.get(g)
+        assert cache.invalidate(g) == 1
+        assert len(cache) == 0
+        assert cache.get(g) is not first
+        assert cache.invalidate(gnm_random_graph(5, 5, seed=8)) == 0
+
+    def test_pinned_context_still_owns_its_graph(self):
+        import gc
+        import weakref
+
+        g = gnm_random_graph(12, 30, seed=9)
+        ctx = PreparedGraph(g)  # direct construction pins
+        ref = weakref.ref(g)
+        del g
+        gc.collect()
+        assert ref() is not None
+        assert ctx.graph is ref()
+
+    def test_adopted_patched_context_serves_warm_hits(self):
+        from repro.core.prepared import adopt_prepared
+
+        cache = PreparedCache()
+        g = gnm_random_graph(12, 30, seed=10)
+        ctx = PreparedGraph(g)
+        adopt_prepared(g, ctx, cache=cache, version=3)
+        # version=None lookup (the façade default) finds the newest live
+        # version instead of cold-missing on version 0.
+        assert cache.get(g) is ctx
+        assert cache.info()["hits"] == 1 and cache.info()["misses"] == 0

@@ -1,0 +1,97 @@
+"""Property-based differential tests of the dynamic mutation layer.
+
+Three properties over the fuzz subsystem's generators (arbitrary small
+graphs, the 12 seeded families, and the 3 seeded mutators):
+
+* **round-trip** — ``insert(batch)`` then ``delete(batch)`` (and the
+  reverse) restores the original counts, listings, and edge set;
+* **batch = singles** — one batch mutation equals the same edges applied
+  as sequential single-edge batches;
+* **incremental = scratch** — driving a :class:`DynamicGraph` to any
+  mutated family instance yields the counts of a cold recompute there.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.frontier import frontier_count_cliques
+from repro.core.prepared import PreparedGraph
+from repro.dynamic import DynamicGraph, random_trace
+from repro.fuzz.strategies import (
+    MUTATORS,
+    derive_seed,
+    edge_list,
+    family_cases,
+    random_graphs,
+)
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def scratch(graph, k):
+    return frontier_count_cliques(graph, k, prepared=PreparedGraph(graph))
+
+
+def batches_between(old, new):
+    """Insert/delete batches that drive ``old``'s edge set to ``new``'s."""
+    before = set(edge_list(old))
+    after = set(edge_list(new))
+    return sorted(after - before), sorted(before - after)
+
+
+@given(g=random_graphs(max_n=12), k=st.integers(3, 5), seed=st.integers(0, 2**20))
+@settings(**SETTINGS)
+def test_insert_delete_round_trips(g, k, seed):
+    dyn = DynamicGraph(g)
+    before = dyn.count(k)
+    listing = dyn.cliques(k)
+    trace = random_trace(g, batches=2, batch_size=3, seed=seed)
+    dyn.apply_trace(trace)
+    for step in reversed(trace):
+        inverse = "delete" if step["op"] == "insert" else "insert"
+        dyn.apply_trace([{"op": inverse, "batch": step["batch"]}])
+    assert dyn.graph == g
+    assert dyn.count(k) == before
+    assert dyn.cliques(k) == listing
+
+
+@given(g=random_graphs(max_n=12), k=st.integers(3, 5), seed=st.integers(0, 2**20))
+@settings(**SETTINGS)
+def test_batch_equals_sequential_singles(g, k, seed):
+    trace = random_trace(g, batches=1, batch_size=4, seed=seed)
+    if not trace:
+        return
+    op, batch = trace[0]["op"], [tuple(p) for p in trace[0]["batch"]]
+    as_batch = DynamicGraph(g)
+    as_batch.count(k)
+    as_batch._mutate(op, batch)
+    one_by_one = DynamicGraph(g)
+    one_by_one.count(k)
+    for pair in batch:
+        one_by_one._mutate(op, [pair])
+    assert as_batch.graph == one_by_one.graph
+    assert as_batch.count(k) == one_by_one.count(k)
+    assert as_batch.count(k) == scratch(as_batch.graph, k)
+
+
+@given(case=family_cases(max_vertices=18), data=st.data())
+@settings(**SETTINGS)
+def test_incremental_equals_scratch_on_fuzz_families(case, data):
+    g = case.build()
+    name = data.draw(st.sampled_from(sorted(MUTATORS)), label="mutator")
+    seed = data.draw(st.integers(0, 2**20), label="seed")
+    mutated = MUTATORS[name](g, count=3, seed=derive_seed(seed, name))
+    inserts, deletes = batches_between(g, mutated)
+    dyn = DynamicGraph(g, verify=True)
+    dyn.count(4)
+    dyn.cliques(4)
+    if deletes:
+        dyn.delete_edges(deletes)
+    if inserts:
+        dyn.insert_edges(inserts)
+    assert dyn.graph == mutated
+    assert dyn.count(4) == scratch(mutated, 4)

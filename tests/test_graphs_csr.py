@@ -122,3 +122,37 @@ class TestSpecialGraphs:
     def test_equality(self):
         assert tiny() == tiny()
         assert tiny() != complete_graph(4)
+
+
+class TestInt32RangeValidation:
+    """int64 ids that do not fit int32 must fail loudly, not wrap."""
+
+    def test_overflowing_neighbor_index_raises_with_value(self):
+        bad = 2**31  # wraps to -2147483648 under a silent int32 cast
+        indptr = np.asarray([0, 1, 2], dtype=np.int64)
+        indices = np.asarray([bad, 0], dtype=np.int64)
+        with pytest.raises(ValueError, match=str(bad)):
+            CSRGraph(indptr, indices)
+
+    def test_overflow_rejected_even_without_validation(self):
+        # The validate=False fast path every internal builder takes used
+        # to be the silent-corruption route; the range check runs first.
+        indptr = np.asarray([0, 1, 2], dtype=np.int64)
+        indices = np.asarray([2**31, 0], dtype=np.int64)
+        with pytest.raises(ValueError):
+            CSRGraph(indptr, indices, validate=False)
+
+    def test_int32_max_id_is_accepted_shapewise(self):
+        # The largest representable id passes the range check (and then
+        # fails structural validation only because indptr says n == 2,
+        # proving the cast happened without wrapping).
+        indptr = np.asarray([0, 1, 2], dtype=np.int64)
+        indices = np.asarray([2**31 - 1, 0], dtype=np.int64)
+        with pytest.raises(ValueError, match="out of range|neighbor"):
+            CSRGraph(indptr, indices)
+
+    def test_native_int32_input_unaffected(self):
+        indptr = np.asarray([0, 1, 2], dtype=np.int64)
+        indices = np.asarray([1, 0], dtype=np.int32)
+        g = CSRGraph(indptr, indices)
+        assert g.num_edges == 1

@@ -145,11 +145,14 @@ class TestCompare:
         # Committed baselines predating the engine field lack the tag;
         # they must keep gating (the tag is enforced only when present
         # on both sides).
-        base = _record()
+        # Derive the baseline from the same measured record: re-running
+        # the bench here compared two independent wall timings of a
+        # millisecond workload, which flakes under load.
+        cur = _record()
+        base = copy.deepcopy(cur)
         for entry in base["entries"]:
             entry.pop("engine", None)
         assert validate_record(base) == []
-        cur = _record()
         assert compare_records(cur, base).ok
 
     def test_engine_tag_records_resolved_engine(self):
