@@ -24,7 +24,13 @@
   docs/FUZZING.md);
 * ``lint [paths] [--changed] [--format text|json|sarif|github]`` — the
   repo-aware static analysis (intra-module rules R1–R4 plus the
-  interprocedural call-graph rules R5–R8; see docs/STATIC_ANALYSIS.md).
+  interprocedural call-graph rules R5–R8; see docs/STATIC_ANALYSIS.md);
+* ``serve [--port P] [--graph NAME=SPEC ...] [--max-query-work W]`` —
+  start the clique query daemon: NDJSON over TCP, request coalescing,
+  cost-budget admission control (see docs/SERVICE.md);
+* ``query <op> ...`` — talk to a running daemon (``count``/``list``/
+  ``find``/``spectrum``/``register``/``mutate``/``stats``/...; exit 6
+  when admission control rejects the query).
 
 Graph files may be edge lists (``.txt``/``.edges``, SNAP format), Matrix
 Market (``.mtx``) or this library's ``.npz``. A built-in dataset name
@@ -45,21 +51,15 @@ from .bench.reporting import format_table
 from .core.api import ENGINES, VARIANTS, count_cliques, list_cliques
 from .core.existence import clique_spectrum
 from .core.prepared import PreparedGraph
-from .graphs.csr import CSRGraph
-from .graphs.io import load_npz, read_edge_list, read_mtx
 from .pram.tracker import Tracker
+from .service.daemon import DEFAULT_PORT
+from .service.registry import load_graph_spec
 
 __all__ = ["main"]
 
-
-def _load_graph(spec: str) -> CSRGraph:
-    if spec in DATASETS:
-        return load_dataset(spec)
-    if spec.endswith(".npz"):
-        return load_npz(spec)
-    if spec.endswith(".mtx"):
-        return read_mtx(spec)
-    return read_edge_list(spec)
+# One graph-spec vocabulary everywhere (CLI positionals, the daemon's
+# register endpoint): dataset name, .npz, .mtx, or SNAP edge list.
+_load_graph = load_graph_spec
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -439,6 +439,141 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 4
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import CliqueService, ServiceError
+
+    service = CliqueService(
+        eps=args.eps,
+        workers=args.workers,
+        max_query_work=args.max_query_work,
+        max_inflight_work=args.max_inflight_work,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+    )
+    for item in args.graph or []:
+        name, sep, spec = item.partition("=")
+        if not sep:
+            spec = name  # bare SPEC: the spec doubles as the name
+        try:
+            stats = service.registry.register(name, spec=spec)
+        except ServiceError as exc:
+            print(f"error: cannot preload {item!r}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"registered {stats.name!r}: n={stats.n} m={stats.m} "
+            f"s={stats.degeneracy}"
+        )
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro daemon listening on {host}:{port}", flush=True)
+
+    try:
+        asyncio.run(service.run(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _query_fields(args: argparse.Namespace) -> dict:
+    """The request payload of one ``repro query`` sub-command."""
+    op = args.qop
+    if op == "register":
+        return {"name": args.name, "spec": args.spec}
+    if op == "unregister":
+        return {"name": args.name}
+    if op in ("count", "list", "find"):
+        fields = {"graph": args.graph, "k": args.k}
+        if op in ("count", "list"):
+            fields["variant"] = args.variant
+            fields["engine"] = args.engine
+            fields["kernelize"] = args.kernelize or None
+        if op == "list" and args.limit is not None:
+            fields["limit"] = args.limit
+        return fields
+    if op == "spectrum":
+        return {"graph": args.graph, "k_max": args.k_max}
+    if op == "mutate":
+        batch = []
+        for edge in args.edges:
+            u, _, v = edge.replace(":", ",").partition(",")
+            batch.append([int(u), int(v)])
+        return {"graph": args.graph, "mutation": args.mutation, "batch": batch}
+    return {}  # ping / graphs / stats / shutdown carry no fields
+
+
+def _print_query_result(op: str, result: dict) -> None:
+    if op == "count":
+        extra = []
+        if result.get("coalesced"):
+            extra.append("coalesced")
+        if result.get("warm"):
+            extra.append("warm")
+        suffix = f"  [{', '.join(extra)}]" if extra else ""
+        print(
+            f"{result['k']}-cliques in {result['graph']} "
+            f"(v{result['version']}): {result['count']}{suffix}"
+        )
+    elif op == "list":
+        for clique in result.get("cliques", []):
+            print(" ".join(str(v) for v in clique))
+        if result.get("truncated"):
+            print(f"... (of {result['count']} total)", file=sys.stderr)
+    elif op == "find":
+        witness = result.get("witness")
+        print("none" if witness is None else " ".join(str(v) for v in witness))
+    elif op == "spectrum":
+        for k, count in sorted(
+            result.get("spectrum", {}).items(), key=lambda kv: int(kv[0])
+        ):
+            print(f"k={k}: {count}")
+    elif op == "graphs":
+        for row in result.get("graphs", []):
+            print(
+                f"{row['name']}: n={row['n']} m={row['m']} "
+                f"s={row['degeneracy']} v{row['version']}"
+            )
+    elif op == "ping":
+        print(f"pong (version {result.get('version', '?')})")
+    elif op == "shutdown":
+        print("daemon stopping")
+    else:  # register / unregister / mutate / stats: structured output
+        import json
+
+        json.dump(result, sys.stdout, indent=2, sort_keys=True)
+        print()
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import QueryClient, ServiceError
+
+    try:
+        with QueryClient(args.host, args.port, timeout=args.timeout) as client:
+            result = client.request(args.qop, **_query_fields(args))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for key, value in sorted(exc.details.items()):
+            print(f"  {key}: {value}", file=sys.stderr)
+        # Admission rejections get their own exit code so scripts can
+        # back off / retry instead of treating them as hard failures.
+        return 6 if exc.code in ("over-budget", "queue-full") else 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach daemon at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.as_json:
+        json.dump(result, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        _print_query_result(args.qop, result)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -718,6 +853,129 @@ def build_parser() -> argparse.ArgumentParser:
         "default: all",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "serve",
+        help="start the clique query daemon (NDJSON over TCP; coalescing + "
+        "cost-budget admission; see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"listen port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    p.add_argument(
+        "--graph",
+        action="append",
+        metavar="NAME=SPEC",
+        help="preload a graph under NAME (SPEC: dataset name or file path; "
+        "repeatable; bare SPEC uses the spec as the name)",
+    )
+    p.add_argument("--eps", type=float, default=0.5)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="engine worker threads (default: executor's choice)",
+    )
+    p.add_argument(
+        "--max-query-work",
+        type=float,
+        default=None,
+        help="per-query admission budget in predicted PRAM work units; "
+        "costlier queries are rejected with over-budget",
+    )
+    p.add_argument(
+        "--max-inflight-work",
+        type=float,
+        default=None,
+        help="global budget on the summed predicted work of running "
+        "queries; excess queries queue",
+    )
+    p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max queries waiting on the in-flight budget (default 64)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        help="prepared-context cache capacity (default 64)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    qp = sub.add_parser(
+        "query",
+        help="talk to a running daemon (exit 6 on admission rejection)",
+    )
+    qsub = qp.add_subparsers(dest="qop", required=True)
+
+    def _qparser(name: str, help_text: str) -> argparse.ArgumentParser:
+        q = qsub.add_parser(name, help=help_text)
+        q.add_argument("--host", default="127.0.0.1")
+        q.add_argument("--port", type=int, default=DEFAULT_PORT)
+        q.add_argument("--timeout", type=float, default=30.0)
+        q.add_argument(
+            "--json",
+            action="store_true",
+            dest="as_json",
+            help="print the raw result object",
+        )
+        q.set_defaults(func=_cmd_query)
+        return q
+
+    _qparser("ping", "liveness + version")
+
+    q = _qparser("register", "load a graph into the daemon under a name")
+    q.add_argument("name")
+    q.add_argument("spec", help="dataset name or graph file path")
+
+    q = _qparser("unregister", "drop a named graph")
+    q.add_argument("name")
+
+    _qparser("graphs", "list registered graphs with their stats")
+
+    q = _qparser("count", "count k-cliques on a registered graph")
+    q.add_argument("graph")
+    q.add_argument("-k", type=int, required=True)
+    q.add_argument("--variant", choices=VARIANTS, default="best-work")
+    q.add_argument("--engine", choices=ENGINES, default="auto")
+    q.add_argument("--kernelize", action="store_true")
+
+    q = _qparser("list", "list k-cliques on a registered graph")
+    q.add_argument("graph")
+    q.add_argument("-k", type=int, required=True)
+    q.add_argument("--variant", choices=VARIANTS, default="best-work")
+    q.add_argument(
+        "--engine", choices=("reference", "frontier"), default="reference"
+    )
+    q.add_argument("--kernelize", action="store_true")
+    q.add_argument("--limit", type=int, default=None)
+
+    q = _qparser("find", "find one k-clique witness (or none)")
+    q.add_argument("graph")
+    q.add_argument("-k", type=int, required=True)
+
+    q = _qparser("spectrum", "clique counts for every size")
+    q.add_argument("graph")
+    q.add_argument("--k-max", type=int, default=None, dest="k_max")
+
+    q = _qparser("mutate", "apply an edge batch through the dynamic layer")
+    q.add_argument("graph")
+    q.add_argument("mutation", choices=("insert", "delete"))
+    q.add_argument(
+        "edges",
+        nargs="+",
+        metavar="U,V",
+        help="edges as comma- or colon-separated pairs (e.g. 3,17)",
+    )
+
+    _qparser("stats", "service counters, cache info, admission state")
+    _qparser("shutdown", "stop the daemon")
 
     return parser
 

@@ -35,10 +35,25 @@ amortize preprocessing with no caller cooperation. Engine-level entry
 points (``run_variant``, ``fast_count_cliques``, …) stay *cold* unless
 a context is passed explicitly — benchmarks compare cold and warm runs
 on purpose.
+
+Thread safety: both classes are multi-tenant shared state once the
+query service (:mod:`repro.service`) runs engines on a worker pool, so
+both are locked. :class:`PreparedCache` guards its LRU dict, the
+weakref ``_on_collect`` eviction callback (which can fire on *any*
+thread mid-``get`` otherwise) and its counters with one ``RLock``;
+:class:`PreparedGraph` guards its piece stores with a per-instance
+``RLock`` and builds pieces *inside* the lock (double-checked), so two
+threads missing on the same piece converge on one frozen object and
+exactly one cold build — the second thread blocks, then takes a hit.
+The lock is deliberately coarse (one per context, not per piece): a
+piece build is the expensive unit being deduplicated, and piece
+accessors recurse into each other (``dag`` → ``order_result``), which
+the reentrant lock makes safe.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
@@ -112,6 +127,7 @@ class PreparedGraph:
         "version",
         "hits",
         "misses",
+        "_lock",
         "_orders",
         "_dags",
         "_triangles",
@@ -136,6 +152,7 @@ class PreparedGraph:
         self.version = int(version)
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
         self._orders: Dict[str, Any] = {}
         self._dags: Dict[str, OrientedDAG] = {}
         self._triangles: Dict[str, np.ndarray] = {}
@@ -164,7 +181,7 @@ class PreparedGraph:
 
     # -- patch-in-place support (repro.dynamic) ----------------------------
 
-    def install_piece(self, kind: str, key: Any, value: Any) -> None:
+    def install_piece(self, kind: str, key: Any, value: Any) -> Any:
         """Adopt an externally built (patched) piece into this context.
 
         ``kind`` is one of :data:`PIECE_KINDS`; ``key`` is the order
@@ -172,12 +189,19 @@ class PreparedGraph:
         patch engine uses this to carry forward pieces it proved still
         valid (or rebuilt incrementally) across a graph mutation, so a
         warm context survives a batch without a cold rebuild.
+
+        Installation is **first-install-wins**: if another thread
+        already memoized this slot, that object is kept and returned —
+        a frozen piece may already be referenced by a concurrent query,
+        and clobbering it would fork two "the" triangle lists for one
+        context. Callers must use the returned (winning) value.
         """
         if kind not in _PIECE_STORES:
             raise ValueError(
                 f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
             )
-        getattr(self, _PIECE_STORES[kind])[key] = value
+        with self._lock:
+            return getattr(self, _PIECE_STORES[kind]).setdefault(key, value)
 
     def peek(self, kind: str, key: Any) -> Any:
         """A memoized piece if already built, else ``None`` (never builds).
@@ -189,7 +213,8 @@ class PreparedGraph:
             raise ValueError(
                 f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
             )
-        return getattr(self, _PIECE_STORES[kind]).get(key)
+        with self._lock:
+            return getattr(self, _PIECE_STORES[kind]).get(key)
 
     def piece_keys(self, kind: str) -> Tuple[Any, ...]:
         """Sorted keys of the memoized pieces of one kind."""
@@ -197,7 +222,8 @@ class PreparedGraph:
             raise ValueError(
                 f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
             )
-        return tuple(sorted(getattr(self, _PIECE_STORES[kind])))
+        with self._lock:
+            return tuple(sorted(getattr(self, _PIECE_STORES[kind])))
 
     def invalidate_pieces(self, kinds: Optional[Tuple[str, ...]] = None) -> int:
         """Drop memoized pieces (all of them, or only the given kinds).
@@ -209,14 +235,15 @@ class PreparedGraph:
         """
         chosen = PIECE_KINDS if kinds is None else kinds
         dropped = 0
-        for kind in chosen:
-            if kind not in _PIECE_STORES:
-                raise ValueError(
-                    f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
-                )
-            store = getattr(self, _PIECE_STORES[kind])
-            dropped += len(store)
-            store.clear()
+        with self._lock:
+            for kind in chosen:
+                if kind not in _PIECE_STORES:
+                    raise ValueError(
+                        f"unknown piece kind {kind!r}; choose from {PIECE_KINDS}"
+                    )
+                store = getattr(self, _PIECE_STORES[kind])
+                dropped += len(store)
+                store.clear()
         return dropped
 
     # -- bookkeeping -------------------------------------------------------
@@ -246,19 +273,20 @@ class PreparedGraph:
     ) -> Any:
         """The order result (:class:`DegeneracyResult` / approx twin)."""
         self._check_variant(variant)
-        got = self._orders.get(variant)
-        if got is not None:
-            self._note(tracker, hit=True)
-            return got
-        self._note(tracker, hit=False)
-        with tracker.phase("orientation"):
-            if variant == "degeneracy":
-                got = degeneracy_order(self.graph, tracker=tracker)
-            else:
-                got = approx_degeneracy_order(
-                    self.graph, eps=self.eps, tracker=tracker
-                )
-        self._orders[variant] = got
+        with self._lock:
+            got = self._orders.get(variant)
+            if got is not None:
+                self._note(tracker, hit=True)
+                return got
+            self._note(tracker, hit=False)
+            with tracker.phase("orientation"):
+                if variant == "degeneracy":
+                    got = degeneracy_order(self.graph, tracker=tracker)
+                else:
+                    got = approx_degeneracy_order(
+                        self.graph, eps=self.eps, tracker=tracker
+                    )
+            self._orders[variant] = got
         return got
 
     def dag(
@@ -266,15 +294,16 @@ class PreparedGraph:
     ) -> OrientedDAG:
         """The graph oriented by the chosen order (vertices relabeled)."""
         self._check_variant(variant)
-        got = self._dags.get(variant)
-        if got is not None:
-            self._note(tracker, hit=True)
-            return got
-        order = self.order_result(variant, tracker).order
-        self._note(tracker, hit=False)
-        with tracker.phase("orientation"):
-            got = orient_by_order(self.graph, order, tracker=tracker)
-        self._dags[variant] = got
+        with self._lock:
+            got = self._dags.get(variant)
+            if got is not None:
+                self._note(tracker, hit=True)
+                return got
+            order = self.order_result(variant, tracker).order
+            self._note(tracker, hit=False)
+            with tracker.phase("orientation"):
+                got = orient_by_order(self.graph, order, tracker=tracker)
+            self._dags[variant] = got
         return got
 
     def triangles(
@@ -282,15 +311,16 @@ class PreparedGraph:
     ) -> np.ndarray:
         """The (u, w, v) triangle list of the oriented DAG."""
         self._check_variant(variant)
-        got = self._triangles.get(variant)
-        if got is not None:
-            self._note(tracker, hit=True)
-            return got
-        dag = self.dag(variant, tracker)
-        self._note(tracker, hit=False)
-        with tracker.phase("communities"):
-            got = list_triangles(dag, tracker=tracker)
-        self._triangles[variant] = got
+        with self._lock:
+            got = self._triangles.get(variant)
+            if got is not None:
+                self._note(tracker, hit=True)
+                return got
+            dag = self.dag(variant, tracker)
+            self._note(tracker, hit=False)
+            with tracker.phase("communities"):
+                got = list_triangles(dag, tracker=tracker)
+            self._triangles[variant] = got
         return got
 
     def communities(
@@ -298,16 +328,17 @@ class PreparedGraph:
     ) -> EdgeCommunities:
         """The sorted per-edge candidate sets (Algorithm 1, line 1)."""
         self._check_variant(variant)
-        got = self._communities.get(variant)
-        if got is not None:
-            self._note(tracker, hit=True)
-            return got
-        dag = self.dag(variant, tracker)
-        tri = self.triangles(variant, tracker)
-        self._note(tracker, hit=False)
-        with tracker.phase("communities"):
-            got = build_communities(dag, tracker=tracker, triangles=tri)
-        self._communities[variant] = got
+        with self._lock:
+            got = self._communities.get(variant)
+            if got is not None:
+                self._note(tracker, hit=True)
+                return got
+            dag = self.dag(variant, tracker)
+            tri = self.triangles(variant, tracker)
+            self._note(tracker, hit=False)
+            with tracker.phase("communities"):
+                got = build_communities(dag, tracker=tracker, triangles=tri)
+            self._communities[variant] = got
         return got
 
     def frontier_tables(
@@ -321,24 +352,25 @@ class PreparedGraph:
         pays the O(T) packing once per (graph, order).
         """
         self._check_variant(variant)
-        got = self._frontier_tables.get(variant)
-        if got is not None:
-            self._note(tracker, hit=True)
-            return got
-        from .frontier import build_frontier_tables
+        with self._lock:
+            got = self._frontier_tables.get(variant)
+            if got is not None:
+                self._note(tracker, hit=True)
+                return got
+            from .frontier import build_frontier_tables
 
-        dag = self.dag(variant, tracker)
-        tri = self.triangles(variant, tracker)
-        self._note(tracker, hit=False)
-        with tracker.phase("bitrows"):
-            got = build_frontier_tables(dag, tri)
-            tracker.charge(
-                Cost(
-                    float(tri.shape[0] + dag.num_edges),
-                    log2p1(max(tri.shape[0], dag.num_edges)) + 1,
+            dag = self.dag(variant, tracker)
+            tri = self.triangles(variant, tracker)
+            self._note(tracker, hit=False)
+            with tracker.phase("bitrows"):
+                got = build_frontier_tables(dag, tri)
+                tracker.charge(
+                    Cost(
+                        float(tri.shape[0] + dag.num_edges),
+                        log2p1(max(tri.shape[0], dag.num_edges)) + 1,
+                    )
                 )
-            )
-        self._frontier_tables[variant] = got
+            self._frontier_tables[variant] = got
         return got
 
     def kernel(
@@ -354,17 +386,18 @@ class PreparedGraph:
         """
         if k < 1:
             raise ValueError(f"clique size must be >= 1, got {k}")
-        got = self._kernels.get(k)
-        if got is not None:
-            self._note(tracker, hit=True)
-            return got
-        from ..graphs.kernels import triangle_kernel
+        with self._lock:
+            got = self._kernels.get(k)
+            if got is not None:
+                self._note(tracker, hit=True)
+                return got
+            from ..graphs.kernels import triangle_kernel
 
-        self._note(tracker, hit=False)
-        with tracker.phase("kernelize"):
-            kern = triangle_kernel(self.graph, k, tracker=tracker)
-        got = (kern, PreparedGraph(kern.graph, eps=self.eps))
-        self._kernels[k] = got
+            self._note(tracker, hit=False)
+            with tracker.phase("kernelize"):
+                kern = triangle_kernel(self.graph, k, tracker=tracker)
+            got = (kern, PreparedGraph(kern.graph, eps=self.eps))
+            self._kernels[k] = got
         return got
 
     # -- edge-order pipeline (Algorithm 3/4) -------------------------------
@@ -377,19 +410,22 @@ class PreparedGraph:
             raise ValueError(
                 f"unknown edge-order kind {kind!r}; choose from {EDGE_ORDER_KINDS}"
             )
-        got = self._edge_orders.get(kind)
-        if got is not None:
-            self._note(tracker, hit=True)
-            return got
-        self._note(tracker, hit=False)
-        with tracker.phase("edge-order"):
-            if kind == "exact":
-                got = community_degeneracy_order(self.graph, tracker=tracker)
-            else:
-                got = approx_community_order(
-                    self.graph, eps=self.eps, tracker=tracker
-                )
-        self._edge_orders[kind] = got
+        with self._lock:
+            got = self._edge_orders.get(kind)
+            if got is not None:
+                self._note(tracker, hit=True)
+                return got
+            self._note(tracker, hit=False)
+            with tracker.phase("edge-order"):
+                if kind == "exact":
+                    got = community_degeneracy_order(
+                        self.graph, tracker=tracker
+                    )
+                else:
+                    got = approx_community_order(
+                        self.graph, eps=self.eps, tracker=tracker
+                    )
+            self._edge_orders[kind] = got
         return got
 
     # -- derived scalars (engine-dispatch inputs) --------------------------
@@ -432,6 +468,14 @@ class PreparedCache:
     LRU so a long-running query server touching many graphs stays
     bounded; :meth:`invalidate` drops a graph's entries explicitly (the
     dynamic mutation layer calls it on superseded snapshots).
+
+    All public methods and the ``_on_collect`` eviction callback hold
+    one ``RLock``: the cache is the shared multi-tenant warm store of
+    the query service, where ``get`` iterates the LRU dict on one worker
+    thread while a GC-triggered callback mutates it on another, and two
+    racing misses used to double-build a context and double-count the
+    ``prepared.graph.*`` metrics. The lock is reentrant because ``get``
+    calls ``put`` and a weakref callback may fire on the holding thread.
     """
 
     def __init__(self, maxsize: int = 32) -> None:
@@ -441,6 +485,7 @@ class PreparedCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple[int, float, int], PreparedGraph]" = (
             OrderedDict()
         )
@@ -464,10 +509,12 @@ class PreparedCache:
     ) -> None:
         # Only drop if the slot still belongs to the collected graph: the
         # id may have been reused and the key re-bound to a live entry.
-        if self._refs.get(key) is ref:
-            self._refs.pop(key, None)
-            if self._entries.pop(key, None) is not None:
-                self.invalidations += 1
+        # Runs on whatever thread triggered the collection, hence the lock.
+        with self._lock:
+            if self._refs.get(key) is ref:
+                self._refs.pop(key, None)
+                if self._entries.pop(key, None) is not None:
+                    self.invalidations += 1
 
     def _remove(self, key: Tuple[int, float, int]) -> None:
         self._entries.pop(key, None)
@@ -487,35 +534,68 @@ class PreparedCache:
         dynamic layer adopted under a bumped version token keeps serving
         warm hits. Pass an explicit version to pin one snapshot.
         """
-        gid = id(graph)
-        feps = float(eps)
-        if version is None:
-            matches = sorted(
-                k for k in self._entries if k[0] == gid and k[1] == feps
-            )
-            key = matches[-1] if matches else (gid, feps, 0)
-        else:
-            key = (gid, feps, int(version))
-        entry = self._entries.get(key)
         metrics = tracker.metrics
-        if entry is not None and entry.graph is graph:
-            self.hits += 1
-            self._entries.move_to_end(key)
+        with self._lock:
+            gid = id(graph)
+            feps = float(eps)
+            if version is None:
+                matches = sorted(
+                    k for k in self._entries if k[0] == gid and k[1] == feps
+                )
+                key = matches[-1] if matches else (gid, feps, 0)
+            else:
+                key = (gid, feps, int(version))
+            entry = self._entries.get(key)
+            if entry is not None and entry.graph is graph:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                if metrics is not None:
+                    metrics.counter("prepared.graph.hit").inc()
+                return entry
+            if entry is not None:
+                # A stale slot (dead graph whose callback has not fired, or
+                # a reused id): never serve another graph's preprocessing.
+                self._remove(key)
+                self.invalidations += 1
+            self.misses += 1
             if metrics is not None:
-                metrics.counter("prepared.graph.hit").inc()
+                metrics.counter("prepared.graph.miss").inc()
+            build_version = 0 if version is None else int(version)
+            entry = PreparedGraph(
+                graph, eps=eps, pin=False, version=build_version
+            )
+            self.put(graph, entry, eps=eps, version=build_version)
             return entry
-        if entry is not None:
-            # A stale slot (dead graph whose callback has not fired, or a
-            # reused id): never serve another graph's preprocessing.
-            self._remove(key)
-            self.invalidations += 1
-        self.misses += 1
-        if metrics is not None:
-            metrics.counter("prepared.graph.miss").inc()
-        build_version = 0 if version is None else int(version)
-        entry = PreparedGraph(graph, eps=eps, pin=False, version=build_version)
-        self.put(graph, entry, eps=eps, version=build_version)
-        return entry
+
+    def lookup(
+        self,
+        graph: CSRGraph,
+        eps: float = 0.5,
+        version: Optional[int] = None,
+    ) -> Optional[PreparedGraph]:
+        """The cached context for ``(graph, eps)`` or ``None`` — never builds.
+
+        Does not touch the hit/miss counters or the LRU order: the query
+        service uses it to classify a query as warm or cold *before*
+        resolving the context (``service.warm_hit``), and a peek that
+        aged the LRU or skewed the counters would distort both.
+        """
+        with self._lock:
+            gid = id(graph)
+            feps = float(eps)
+            if version is None:
+                matches = sorted(
+                    k for k in self._entries if k[0] == gid and k[1] == feps
+                )
+                if not matches:
+                    return None
+                key = matches[-1]
+            else:
+                key = (gid, feps, int(version))
+            entry = self._entries.get(key)
+            if entry is not None and entry.graph is graph:
+                return entry
+            return None
 
     def put(
         self,
@@ -534,14 +614,15 @@ class PreparedCache:
         if entry.graph is not graph:
             raise ValueError("prepared context was built for a different graph")
         entry.unpin()
-        key = (id(graph), float(eps), int(version))
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        self._watch(graph, key)
-        if len(self._entries) > self.maxsize:
-            # At most one over: put() only ever inserts a single entry.
-            old_key, _ = self._entries.popitem(last=False)
-            self._refs.pop(old_key, None)
+        with self._lock:
+            key = (id(graph), float(eps), int(version))
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._watch(graph, key)
+            if len(self._entries) > self.maxsize:
+                # At most one over: put() only ever inserts a single entry.
+                old_key, _ = self._entries.popitem(last=False)
+                self._refs.pop(old_key, None)
         return entry
 
     def invalidate(self, graph: CSRGraph) -> int:
@@ -552,36 +633,40 @@ class PreparedCache:
         not want to wait for garbage collection. Hit/miss counters are
         preserved; ``invalidations`` counts the dropped entries.
         """
-        gid = id(graph)
-        stale = [
-            key
-            for key, ref in self._refs.items()
-            if key[0] == gid and ref() is graph
-        ]
-        for key in stale:
-            self._remove(key)
-        self.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            gid = id(graph)
+            stale = [
+                key
+                for key, ref in self._refs.items()
+                if key[0] == gid and ref() is graph
+            ]
+            for key in stale:
+                self._remove(key)
+            self.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._refs.clear()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        with self._lock:
+            self._entries.clear()
+            self._refs.clear()
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def info(self) -> Dict[str, int]:
         """Cache statistics (mirrors ``functools.lru_cache.cache_info``)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
 
 # The process-wide default cache behind the public façade. Only the

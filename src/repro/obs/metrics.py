@@ -25,6 +25,7 @@ path costs one attribute test).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -159,17 +160,31 @@ class MetricsRegistry:
 
     Instrument kinds live in one namespace: asking for an existing name
     with a different kind is an error (it would silently fork the data).
+
+    A registry may be shared by every worker thread of the query
+    service (one registry, one tracker *per query*), so instrument
+    creation is locked: two threads asking for a new name must converge
+    on one instrument, not fork two and lose one's updates. Instrument
+    *updates* stay lock-free — ``inc``/``record`` are single bytecode-
+    cheap mutations whose worst concurrent failure is a lost increment,
+    and the exactness-critical counters (``service.*``,
+    ``prepared.*``) are serialized by their callers (the event loop and
+    the prepared-layer locks respectively).
     """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls: type) -> Any:
         inst = self._instruments.get(name)
         if inst is None:
-            inst = cls(name)
-            self._instruments[name] = inst
-        elif not isinstance(inst, cls):
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = cls(name)
+                    self._instruments[name] = inst
+        if not isinstance(inst, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(inst).__name__}, not {cls.__name__}"

@@ -16,6 +16,18 @@ A tracker can be disabled (``Tracker(enabled=False)``) in which case every
 operation is a cheap no-op; the module-level :data:`NULL_TRACKER` is a
 shared disabled instance that algorithms use as their default.
 
+**A tracker belongs to one call stack.** The scope stack, phase stack
+and sanitizer are plain mutable state with no locking: two threads
+charging one enabled tracker interleave pushes and pops and corrupt
+both threads' accounting. Concurrent callers (the query service's
+worker pool) must build one ``Tracker()`` per query and may share only
+the attached :class:`~repro.obs.metrics.MetricsRegistry`, which locks
+instrument creation itself. ``NULL_TRACKER`` is the one safe shared
+instance — disabled, so every operation is a stateless no-op.
+:meth:`Tracker.assert_fresh` is the guard service code places at worker
+entry (lint rule R2's no-shared-module-state contract, restated at
+runtime).
+
 ``Tracker(sanitize=True)`` additionally arms the CREW sanitizer
 (:mod:`repro.pram.sanitize`): reads/writes recorded inside ``region.task()``
 blocks — explicitly via :meth:`Tracker.record_read` /
@@ -127,6 +139,28 @@ class Tracker:
         type); every subsequent :meth:`phase` block reports to it."""
         self._span_observer = recorder
         return recorder
+
+    def assert_fresh(self) -> "Tracker":
+        """Assert this enabled tracker is unshared: no charges, no open scopes.
+
+        The query service calls this on the per-query tracker at worker
+        entry. A tracker that already carries work, an open phase, or a
+        nested scope is being driven by another call stack — sharing it
+        across threads interleaves scope pushes/pops and silently
+        corrupts both queries' accounting (and, with ``sanitize=True``,
+        the CREW access log). Returns ``self`` so the call chains.
+        """
+        if not self.enabled:
+            raise AssertionError(
+                "per-query trackers must be enabled instances, not the "
+                "shared NULL_TRACKER"
+            )
+        if len(self._stack) != 1 or self._phase_stack or self.total != ZERO:
+            raise AssertionError(
+                "tracker is already in use by another call stack; build one "
+                "Tracker() per query instead of sharing module-level state"
+            )
+        return self
 
     # -- charging ---------------------------------------------------------
 

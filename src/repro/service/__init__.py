@@ -1,0 +1,52 @@
+"""The clique query service: a long-lived daemon over the engine library.
+
+The serving layer the ROADMAP's production item asks for, stdlib-only:
+
+* :mod:`repro.service.daemon` — the asyncio daemon
+  (:class:`CliqueService`): NDJSON over TCP, per-request concurrency,
+  single-flight coalescing of identical queries, engine runs on a
+  worker-thread pool against the shared thread-safe
+  :class:`~repro.core.prepared.PreparedCache`.
+* :mod:`repro.service.registry` — named graphs
+  (:class:`GraphRegistry`), each wrapped in a
+  :class:`~repro.dynamic.DynamicGraph` so mutations patch warm state
+  instead of rebuilding it.
+* :mod:`repro.service.admission` — cost-budget admission control
+  priced by the paper's work bounds (:func:`estimate_query`,
+  :class:`AdmissionController`).
+* :mod:`repro.service.protocol` — the wire format and the shared
+  :class:`ServiceError` vocabulary.
+* :mod:`repro.service.client` — the blocking :class:`QueryClient`
+  behind ``repro query``.
+
+Start a daemon with ``repro serve``; talk to it with ``repro query`` or
+programmatically::
+
+    service = CliqueService(max_query_work=1e9)
+    client = ServiceClient(service)          # in-process, no sockets
+    await client.register("web", spec="ca-dblp-2012")
+    result = await client.count("web", k=5)
+"""
+
+from .admission import AdmissionController, QueryEstimate, estimate_query
+from .client import QueryClient
+from .daemon import DEFAULT_PORT, CliqueService, ServiceClient
+from .protocol import ERROR_CODES, ProtocolError, ServiceError
+from .registry import GraphRegistry, GraphStats, RegisteredGraph, load_graph_spec
+
+__all__ = [
+    "AdmissionController",
+    "QueryEstimate",
+    "estimate_query",
+    "QueryClient",
+    "DEFAULT_PORT",
+    "CliqueService",
+    "ServiceClient",
+    "ERROR_CODES",
+    "ProtocolError",
+    "ServiceError",
+    "GraphRegistry",
+    "GraphStats",
+    "RegisteredGraph",
+    "load_graph_spec",
+]

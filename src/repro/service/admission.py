@@ -1,0 +1,266 @@
+"""Cost-budget admission control: the PRAM work bounds as a gatekeeper.
+
+The paper's Table-1 formulas predict the search work of a query from
+cheap instance statistics — n, m, the degeneracy s and the largest
+community size γ — *before* any engine runs. A long-lived daemon is
+where that finally earns its keep operationally: a single
+``count(k=12)`` on a dense-ish graph can cost more than a million small
+queries, and the only alternative to pricing it up front is letting it
+monopolize the worker pool after the fact.
+
+:func:`estimate_query` turns one request into a
+:class:`~repro.pram.cost.Cost`-shaped :class:`QueryEstimate` using the
+best-work bound ``k·m·((γ+3−k)/2)^{k−2}`` (§4.1; γ ≤ s bounds the
+branching base, the ``m·s`` term charges preprocessing — waived when
+the prepared context is already warm). The estimate is an *upper
+bound* without the O-constant: admission compares estimates to budgets
+expressed in the same abstract units, so the constant cancels out of
+the policy.
+
+:class:`AdmissionController` applies two budgets:
+
+* **per-query** (``max_query_work``): a query whose predicted work
+  exceeds it is rejected immediately with an ``over-budget`` error
+  carrying the prediction — it would never be worth queueing;
+* **global in-flight** (``max_inflight_work``): the sum of predicted
+  work of running queries. An admissible query that would overflow it
+  *queues* (FIFO via an asyncio condition) until capacity frees;
+  ``queue_limit`` bounds the line, rejecting with ``queue-full`` beyond
+  it so a burst degrades crisply instead of accumulating unbounded
+  waiters.
+
+Coalesced queries (joining an identical in-flight computation) never
+reach admission: they add no work, so only flight leaders are priced.
+The controller is event-loop-confined — all methods run on the daemon's
+loop, so its counters need no lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from contextlib import asynccontextmanager
+
+from ..analysis.bounds import BoundInputs, work_best
+from ..pram.cost import Cost
+from .protocol import ServiceError
+
+__all__ = [
+    "QueryEstimate",
+    "estimate_query",
+    "AdmissionController",
+]
+
+
+@dataclass(frozen=True)
+class QueryEstimate:
+    """Predicted cost of one query, with the formula that produced it."""
+
+    work: float
+    depth: float
+    formula: str
+
+    @property
+    def cost(self) -> Cost:
+        return Cost(self.work, self.depth)
+
+    def to_dict(self) -> dict:
+        return {
+            "work": self.work,
+            "depth": self.depth,
+            "formula": self.formula,
+        }
+
+
+def _search_work(n: int, m: int, k: int, branch: int) -> float:
+    """The §4.1 best-work bound with ``branch`` as the branching base."""
+    return work_best(BoundInputs(n=n, m=m, k=k, s=branch))
+
+
+def estimate_query(
+    op: str,
+    n: int,
+    m: int,
+    degeneracy: int,
+    gamma: Optional[int] = None,
+    k: Optional[int] = None,
+    k_max: Optional[int] = None,
+    warm: bool = False,
+) -> QueryEstimate:
+    """Price one query op from graph statistics, before any engine runs.
+
+    ``gamma`` (largest community size) tightens the branching base when
+    known; it is ≤ the degeneracy ``s``, which is always a safe proxy.
+    ``warm=True`` waives the ``m·s`` preprocessing term — the prepared
+    context already holds the order/orientation/communities.
+
+    * ``count``/``list`` at clique size ``k``: preprocessing +
+      ``k·m·((γ+3−k)/2)^{k−2}``. ``k ≤ 2`` is answered closed-form
+      (``n + m``); ``k > s + 1`` cannot have a witness, so only the
+      degeneracy fast path is charged.
+    * ``find``: priced like ``count`` — the early exit helps only when a
+      witness exists, and admission must hold on the witness-free worst
+      case.
+    * ``spectrum``: the sum of per-k search bounds over ``3 ≤ k ≤
+      min(k_max, s + 1)`` on one shared preprocessing pass.
+    """
+    s = max(int(degeneracy), 0)
+    branch = s if gamma is None else min(max(int(gamma), 0), s)
+    prep = 0.0 if warm else float(m) * max(s, 1) + float(n)
+    # Depth follows the hybrid bound O(s + log² n) — the serving engines
+    # are level-synchronous, not the O(n) sequential-peel worst case.
+    depth = float(s + math.log2(max(n, 2)) ** 2)
+
+    if op == "spectrum":
+        top = s + 1 if k_max is None else min(int(k_max), s + 1)
+        search = float(n + m)
+        for kk in range(3, top + 1):
+            search += _search_work(n, m, kk, branch)
+        return QueryEstimate(
+            work=prep + search,
+            depth=depth,
+            formula="Σ_k k·m·((γ+3−k)/2)^{k−2} + m·s",
+        )
+
+    if k is None:
+        raise ValueError(f"op {op!r} needs a clique size k to be priced")
+    k = int(k)
+    if k <= 2:
+        return QueryEstimate(
+            work=float(n + m), depth=math.log2(max(n, 2)), formula="n + m"
+        )
+    if k > s + 1:
+        # The degeneracy fast path answers without building communities.
+        return QueryEstimate(
+            work=float(n) + float(m),
+            depth=math.log2(max(n, 2)),
+            formula="n + m (k > s + 1: no witness possible)",
+        )
+    search = _search_work(n, m, k, branch)
+    return QueryEstimate(
+        work=prep + search,
+        depth=depth,
+        formula="k·m·((γ+3−k)/2)^{k−2} + m·s",
+    )
+
+
+class AdmissionController:
+    """Budgeted admission of flight leaders onto the worker pool.
+
+    ``None`` budgets disable the corresponding check (the default daemon
+    is open; ``repro serve --max-query-work/--max-inflight-work`` arms
+    them). All state is event-loop-confined.
+    """
+
+    def __init__(
+        self,
+        max_query_work: Optional[float] = None,
+        max_inflight_work: Optional[float] = None,
+        queue_limit: int = 64,
+        metrics: Any = None,
+    ) -> None:
+        if max_query_work is not None and max_query_work <= 0:
+            raise ValueError("max_query_work must be positive (or None)")
+        if max_inflight_work is not None and max_inflight_work <= 0:
+            raise ValueError("max_inflight_work must be positive (or None)")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        self.max_query_work = max_query_work
+        self.max_inflight_work = max_inflight_work
+        self.queue_limit = queue_limit
+        self.inflight_work = 0.0
+        self.inflight_queries = 0
+        self.queued = 0
+        self._metrics = metrics
+        # Created lazily so the controller can be built off-loop (the CLI
+        # constructs the service before asyncio.run).
+        self._capacity: Optional[asyncio.Condition] = None
+
+    def _condition(self) -> asyncio.Condition:
+        if self._capacity is None:
+            self._capacity = asyncio.Condition()
+        return self._capacity
+
+    def _gauges(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("service.queue_depth").set(self.queued)
+            self._metrics.gauge("service.inflight_work").set(
+                self.inflight_work
+            )
+
+    def _fits(self, work: float) -> bool:
+        if self.max_inflight_work is None:
+            return True
+        # An empty pool always admits: a single query larger than the
+        # global budget must not deadlock (the per-query budget is the
+        # knob for rejecting it outright).
+        if self.inflight_queries == 0:
+            return True
+        return self.inflight_work + work <= self.max_inflight_work
+
+    @asynccontextmanager
+    async def admit(self, estimate: QueryEstimate, label: str) -> Iterator[None]:
+        """Hold one admitted slot for the duration of an engine run.
+
+        Raises ``over-budget`` / ``queue-full`` :class:`ServiceError`\\ s;
+        otherwise waits for global capacity, then yields with the
+        estimate charged against the in-flight budget.
+        """
+        work = float(estimate.work)
+        if self.max_query_work is not None and work > self.max_query_work:
+            if self._metrics is not None:
+                self._metrics.counter("service.rejected").inc()
+            raise ServiceError(
+                "over-budget",
+                f"{label}: predicted work {work:.4g} exceeds the per-query "
+                f"budget {self.max_query_work:.4g}",
+                {
+                    "predicted_work": work,
+                    "predicted_depth": estimate.depth,
+                    "max_query_work": self.max_query_work,
+                    "formula": estimate.formula,
+                },
+            )
+        cond = self._condition()
+        async with cond:
+            if not self._fits(work):
+                if self.queued >= self.queue_limit:
+                    if self._metrics is not None:
+                        self._metrics.counter("service.rejected").inc()
+                    raise ServiceError(
+                        "queue-full",
+                        f"{label}: admission queue is at its limit "
+                        f"({self.queue_limit} waiting)",
+                        {
+                            "predicted_work": work,
+                            "queue_limit": self.queue_limit,
+                        },
+                    )
+                self.queued += 1
+                if self._metrics is not None:
+                    self._metrics.counter("service.queued").inc()
+                self._gauges()
+                try:
+                    await cond.wait_for(lambda: self._fits(work))
+                finally:
+                    self.queued -= 1
+                    self._gauges()
+            self.inflight_work += work
+            self.inflight_queries += 1
+            if self._metrics is not None:
+                self._metrics.counter("service.admitted").inc()
+            self._gauges()
+        try:
+            yield
+        finally:
+            async with cond:
+                self.inflight_work -= work
+                self.inflight_queries -= 1
+                if self.inflight_queries == 0:
+                    # Guard float drift: an idle pool owes exactly zero.
+                    self.inflight_work = 0.0
+                self._gauges()
+                cond.notify_all()

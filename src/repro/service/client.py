@@ -1,0 +1,134 @@
+"""Blocking TCP client for the clique query daemon.
+
+:class:`QueryClient` is what ``repro query`` (and any synchronous
+caller) uses: one socket, newline-delimited JSON, request ids matched to
+responses so a single client instance may be used sequentially without
+ambiguity even though the daemon is free to answer other connections'
+requests in any order.
+
+The client is deliberately synchronous — the asyncio complexity lives in
+the daemon; a CLI invocation sends one request and waits. For pipelined
+async access from inside a process that already runs the daemon, use
+:class:`repro.service.daemon.ServiceClient` instead.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    raise_for_response,
+)
+
+__all__ = ["QueryClient"]
+
+
+class QueryClient:
+    """One blocking connection to a running daemon.
+
+    Usable as a context manager; not thread-safe (use one client per
+    thread — connections are cheap, the daemon multiplexes).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        self._next_id = 0
+
+    # -- context management ------------------------------------------------
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- wire --------------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError("response line exceeds the frame limit")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "daemon closed the connection mid-response"
+                )
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request, wait for *its* response, return the result.
+
+        Raises :class:`~repro.service.protocol.ServiceError` on an
+        ``ok: false`` response.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        req: Dict[str, Any] = {"op": op, "id": request_id}
+        req.update({k: v for k, v in fields.items() if v is not None})
+        self._sock.sendall(encode_line(req))
+        while True:
+            response = decode_line(self._read_line())
+            # A response without our id is a protocol-level error frame
+            # (unparseable line); surface it rather than waiting forever.
+            if response.get("id") in (request_id, None):
+                return raise_for_response(response)
+
+    # -- convenience verbs -------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def register(self, name: str, **fields: Any) -> Dict[str, Any]:
+        return self.request("register", name=name, **fields)
+
+    def unregister(self, name: str) -> Dict[str, Any]:
+        return self.request("unregister", name=name)
+
+    def graphs(self) -> Dict[str, Any]:
+        return self.request("graphs")
+
+    def count(self, graph: str, k: int, **fields: Any) -> Dict[str, Any]:
+        return self.request("count", graph=graph, k=k, **fields)
+
+    def list_cliques(self, graph: str, k: int, **fields: Any) -> Dict[str, Any]:
+        return self.request("list", graph=graph, k=k, **fields)
+
+    def find(self, graph: str, k: int, **fields: Any) -> Dict[str, Any]:
+        return self.request("find", graph=graph, k=k, **fields)
+
+    def spectrum(self, graph: str, **fields: Any) -> Dict[str, Any]:
+        return self.request("spectrum", graph=graph, **fields)
+
+    def mutate(
+        self, graph: str, mutation: str, batch: List[List[int]]
+    ) -> Dict[str, Any]:
+        return self.request(
+            "mutate", graph=graph, mutation=mutation, batch=batch
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")

@@ -1,0 +1,200 @@
+"""The wire protocol of the clique query service: newline-delimited JSON.
+
+One request per line, one response per line, UTF-8, each a single JSON
+object. The framing is deliberately the dullest thing that works — it
+needs no dependency, every language can speak it, and ``nc``/``socat``
+remain usable debugging clients:
+
+* **Request**: ``{"op": "<name>", "id": <any>, ...op fields...}``. ``op``
+  is required; ``id`` is optional and echoed verbatim on the response so
+  clients may pipeline requests on one connection (responses can arrive
+  out of order — the daemon handles each request concurrently).
+* **Response**: ``{"id": ..., "ok": true, "result": {...}}`` on success,
+  ``{"id": ..., "ok": false, "error": {"code": "...", "message": "...",
+  ...details...}}`` on failure. Error details are structured — an
+  ``over-budget`` rejection carries the predicted and allowed work so an
+  admission decision is machine-readable, not prose.
+
+Error codes are a closed vocabulary (:data:`ERROR_CODES`); clients map
+them to exit codes (``repro query`` exits 6 on an admission rejection,
+1 on anything else).
+
+The module is transport-agnostic: :mod:`repro.service.daemon` uses it
+over asyncio streams, :mod:`repro.service.client` over a blocking
+socket, and the in-process :class:`~repro.service.daemon.ServiceClient`
+skips the byte layer entirely but raises the same
+:class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Sequence
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ERROR_CODES",
+    "ProtocolError",
+    "ServiceError",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "raise_for_response",
+    "field",
+]
+
+# One request/response line may carry a full clique listing; 32 MiB
+# bounds a hostile/broken client without cramping a real result.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+ERROR_CODES = (
+    "bad-request",     # malformed/missing fields, invalid values
+    "unknown-op",      # op outside the endpoint table
+    "unknown-graph",   # graph name not registered
+    "graph-exists",    # register() with a taken name
+    "over-budget",     # admission control: predicted work > per-query budget
+    "queue-full",      # admission control: global queue at capacity
+    "mutation-error",  # a mutation batch disagreed with the edge set
+    "internal",        # engine raised; message carries the repr
+    "protocol",        # unparseable line / oversized frame
+)
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be parsed as a protocol line."""
+
+
+class ServiceError(RuntimeError):
+    """A structured service-side failure (any ``ok: false`` response).
+
+    ``code`` is one of :data:`ERROR_CODES`; ``details`` carries the
+    machine-readable extras (e.g. ``predicted_work`` on an admission
+    rejection).
+    """
+
+    def __init__(
+        self, code: str, message: str, details: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.details: Dict[str, Any] = dict(details or {})
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One protocol frame: compact JSON + newline, UTF-8."""
+    return (
+        json.dumps(obj, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(data: Any) -> Dict[str, Any]:
+    """Parse one frame; raises :class:`ProtocolError` on garbage."""
+    if isinstance(data, (bytes, bytearray)):
+        if len(data) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"frame of {len(data)} bytes exceeds the "
+                f"{MAX_LINE_BYTES}-byte limit"
+            )
+        try:
+            data = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not UTF-8: {exc}") from None
+    try:
+        obj = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, code: str, message: str, **details: Any
+) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    error: Dict[str, Any] = {"code": code, "message": message}
+    error.update(details)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def raise_for_response(response: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``result`` of a response, raising :class:`ServiceError` on failure."""
+    if response.get("ok"):
+        result = response.get("result")
+        return result if isinstance(result, dict) else {}
+    error = response.get("error")
+    if not isinstance(error, dict):
+        raise ProtocolError(f"malformed error response: {response!r}")
+    details = {
+        k: v for k, v in error.items() if k not in ("code", "message")
+    }
+    raise ServiceError(
+        str(error.get("code", "internal")),
+        str(error.get("message", "unknown error")),
+        details,
+    )
+
+
+def field(
+    request: Dict[str, Any],
+    name: str,
+    kind: type,
+    default: Any = None,
+    required: bool = False,
+    choices: Optional[Sequence[Any]] = None,
+) -> Any:
+    """One validated request field; raises ``bad-request`` ServiceErrors.
+
+    ``kind=int`` accepts bools as invalid (JSON ``true`` is not a clique
+    size) and accepts integral floats (JSON has one number type).
+    """
+    value = request.get(name)
+    if value is None:
+        if required:
+            raise ServiceError(
+                "bad-request", f"missing required field {name!r}"
+            )
+        return default
+    if kind is int:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ServiceError(
+                "bad-request", f"field {name!r} must be an integer"
+            )
+        if isinstance(value, float):
+            if not value.is_integer():
+                raise ServiceError(
+                    "bad-request", f"field {name!r} must be an integer"
+                )
+            value = int(value)
+    elif kind is bool:
+        if not isinstance(value, bool):
+            raise ServiceError(
+                "bad-request", f"field {name!r} must be a boolean"
+            )
+    elif kind is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ServiceError(
+                "bad-request", f"field {name!r} must be a number"
+            )
+        value = float(value)
+    elif not isinstance(value, kind):
+        raise ServiceError(
+            "bad-request",
+            f"field {name!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}",
+        )
+    if choices is not None and value not in choices:
+        raise ServiceError(
+            "bad-request",
+            f"field {name!r} must be one of {tuple(choices)}, got {value!r}",
+        )
+    return value

@@ -1,0 +1,217 @@
+"""Thread-safety of the shared prepared-context layer.
+
+The query service runs engines on a worker-thread pool against one
+shared :class:`~repro.core.prepared.PreparedCache`; these tests hammer
+the paths that used to race:
+
+* piece builders double-building under concurrent misses (now: exactly
+  one cold build per piece, everyone else hits);
+* ``install_piece`` clobbering an already-handed-out piece (now:
+  first-install-wins, the winning value is returned);
+* ``PreparedCache.get`` double-building contexts / corrupting the LRU
+  under concurrent misses and weakref eviction callbacks;
+* per-query tracker discipline (``assert_fresh``).
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+
+import pytest
+
+from repro.core.api import count_cliques
+from repro.core.prepared import PreparedCache, PreparedGraph
+from repro.graphs import gnm_random_graph
+from repro.obs import MetricsRegistry
+from repro.pram.tracker import NULL_TRACKER, Tracker
+
+N_THREADS = 12
+
+
+def _hammer(n_threads, fn):
+    """Run ``fn(i)`` on N threads released together; return the results."""
+    barrier = threading.Barrier(n_threads)
+    results = [None] * n_threads
+    errors = []
+
+    def run(i):
+        try:
+            barrier.wait()
+            results[i] = fn(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"worker raised: {errors[0]!r}"
+    return results
+
+
+class TestPieceBuilders:
+    def test_concurrent_dag_builds_once(self):
+        graph = gnm_random_graph(60, 300, seed=3)
+        ctx = PreparedGraph(graph)
+        registry = MetricsRegistry()
+
+        def build(_i):
+            tracker = Tracker()
+            tracker.attach_metrics(registry)
+            return ctx.dag("degeneracy", tracker=tracker)
+
+        results = _hammer(N_THREADS, build)
+        # Everyone got the same frozen piece, not a private rebuild.
+        assert all(r is results[0] for r in results)
+        # One cold build of the dag and (recursively) the order piece;
+        # every other access was a hit. The counters are exact because
+        # _note runs under the context lock.
+        counters = registry.to_dict()
+        assert counters["prepared.piece.miss"]["value"] == 2
+        assert counters["prepared.piece.hit"]["value"] == N_THREADS - 1
+        assert ctx.misses == 2
+        assert ctx.hits == N_THREADS - 1
+
+    def test_concurrent_distinct_pieces(self):
+        graph = gnm_random_graph(50, 220, seed=4)
+        ctx = PreparedGraph(graph)
+        builders = [
+            lambda: ctx.order_result("degeneracy"),
+            lambda: ctx.dag("degeneracy"),
+            lambda: ctx.triangles("degeneracy"),
+            lambda: ctx.communities("degeneracy"),
+            lambda: ctx.kernel(4),
+        ]
+
+        def build(i):
+            return builders[i % len(builders)]()
+
+        first = _hammer(2 * len(builders), build)
+        second = _hammer(2 * len(builders), build)
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_install_piece_first_wins(self):
+        graph = gnm_random_graph(20, 40, seed=5)
+        ctx = PreparedGraph(graph)
+        sentinels = [object() for _ in range(N_THREADS)]
+
+        winners = _hammer(
+            N_THREADS,
+            lambda i: ctx.install_piece("kernel", ("race", i % 1), sentinels[i]),
+        )
+        # All installers were told the same winning value, and it is the
+        # one actually stored — a second install never clobbers a piece
+        # another thread may already hold.
+        assert all(w is winners[0] for w in winners)
+        assert ctx.peek("kernel", ("race", 0)) is winners[0]
+        assert winners[0] in sentinels
+
+
+class TestPreparedCache:
+    def test_concurrent_get_builds_once(self):
+        graph = gnm_random_graph(40, 150, seed=6)
+        cache = PreparedCache(8)
+
+        contexts = _hammer(N_THREADS, lambda _i: cache.get(graph))
+        assert all(c is contexts[0] for c in contexts)
+        info = cache.info()
+        assert info["misses"] == 1
+        assert info["hits"] == N_THREADS - 1
+        assert info["size"] == 1
+
+    def test_concurrent_queries_share_one_cold_build(self):
+        graph = gnm_random_graph(45, 200, seed=7)
+        cache = PreparedCache(8)
+        registry = MetricsRegistry()
+        expected = count_cliques(graph, 4).count
+
+        def query(_i):
+            tracker = Tracker().assert_fresh()
+            tracker.attach_metrics(registry)
+            ctx = cache.get(graph, tracker=tracker)
+            return count_cliques(
+                graph, 4, tracker=tracker, prepared=ctx
+            ).count
+
+        counts = _hammer(N_THREADS, query)
+        assert counts == [expected] * N_THREADS
+        assert cache.info()["misses"] == 1
+        counters = registry.to_dict()
+        assert (
+            counters["prepared.graph.miss"]["value"] == 1
+        ), "racing queries double-built the shared context"
+
+    def test_mixed_mutation_hammer(self):
+        cache = PreparedCache(4)
+        keep = [gnm_random_graph(15, 30, seed=100 + i) for i in range(6)]
+
+        def churn(i):
+            for round_ in range(15):
+                g = keep[(i + round_) % len(keep)]
+                ctx = cache.get(g)
+                assert ctx.graph is g
+                if round_ % 5 == i % 5:
+                    cache.invalidate(g)
+                # Transient graphs die immediately: their weakref
+                # eviction callback fires on whichever thread GC runs.
+                cache.get(gnm_random_graph(10, 15, seed=i * 31 + round_))
+                info = cache.info()
+                assert 0 <= info["size"] <= info["maxsize"]
+            return True
+
+        assert all(_hammer(8, churn))
+        gc.collect()
+        assert len(cache) <= cache.maxsize
+
+    def test_clear_races_get(self):
+        cache = PreparedCache(8)
+        graphs = [gnm_random_graph(12, 25, seed=200 + i) for i in range(4)]
+
+        def worker(i):
+            for round_ in range(25):
+                if i == 0 and round_ % 7 == 0:
+                    cache.clear()
+                else:
+                    ctx = cache.get(graphs[round_ % len(graphs)])
+                    assert ctx is not None
+            return True
+
+        assert all(_hammer(6, worker))
+
+    def test_lookup_never_builds_or_counts(self):
+        graph = gnm_random_graph(20, 50, seed=8)
+        cache = PreparedCache(4)
+        assert cache.lookup(graph) is None
+        before = cache.info()
+        assert before["misses"] == 0 and before["hits"] == 0
+        ctx = cache.get(graph)
+        assert cache.lookup(graph) is ctx
+        after = cache.info()
+        assert after["hits"] == 0  # lookup stayed counter-neutral
+
+
+class TestTrackerDiscipline:
+    def test_fresh_tracker_passes_and_chains(self):
+        tracker = Tracker()
+        assert tracker.assert_fresh() is tracker
+
+    def test_null_tracker_rejected(self):
+        with pytest.raises(AssertionError, match="NULL_TRACKER"):
+            NULL_TRACKER.assert_fresh()
+
+    def test_used_tracker_rejected(self):
+        tracker = Tracker()
+        tracker.charge_ops(5)
+        with pytest.raises(AssertionError, match="per query"):
+            tracker.assert_fresh()
+
+    def test_tracker_with_open_phase_rejected(self):
+        tracker = Tracker()
+        with tracker.phase("search"):
+            with pytest.raises(AssertionError):
+                tracker.assert_fresh()
