@@ -26,58 +26,94 @@ from ..pram.cost import Cost
 from ..pram.schedule import simulate_loop
 from ..pram.tracker import Tracker
 
-__all__ = ["Measurement", "run_experiment", "ALGORITHMS", "sweep"]
+__all__ = ["Measurement", "run_experiment", "ALGORITHMS", "sweep", "peak_rss_kb"]
 
 # The three contenders of Figures 7-9, by their names in the plots,
 # plus the remaining variants for the ablations. Every callable takes an
 # optional shared preprocessing context; the baselines ignore it (their
 # preprocessing — ordering per call — is part of what the figures compare).
+# ``budget`` is the optional resident-memory budget in bytes; only the
+# budget-aware executors (sharded, auto) consume it.
 ALGORITHMS: Dict[str, Callable] = {
-    "c3list": lambda g, k, tr, prepared=None: run_variant(
+    "c3list": lambda g, k, tr, prepared=None, budget=None: run_variant(
         g, k, "best-work", tr, prepared=prepared
     ),
-    "c3list-approx": lambda g, k, tr, prepared=None: run_variant(
+    "c3list-approx": lambda g, k, tr, prepared=None, budget=None: run_variant(
         g, k, "best-depth", tr, prepared=prepared
     ),
-    "c3list-hybrid": lambda g, k, tr, prepared=None: run_variant(
+    "c3list-hybrid": lambda g, k, tr, prepared=None, budget=None: run_variant(
         g, k, "hybrid", tr, prepared=prepared
     ),
-    "c3list-cd": lambda g, k, tr, prepared=None: run_variant(
+    "c3list-cd": lambda g, k, tr, prepared=None, budget=None: run_variant(
         g, k, "cd-best-work", tr, prepared=prepared
     ),
-    "c3list-cd-approx": lambda g, k, tr, prepared=None: run_variant(
+    "c3list-cd-approx": lambda g, k, tr, prepared=None, budget=None: run_variant(
         g, k, "cd-best-depth", tr, prepared=prepared
     ),
-    "bitset": lambda g, k, tr, prepared=None: count_cliques(
+    "bitset": lambda g, k, tr, prepared=None, budget=None: count_cliques(
         g,
         k,
         tracker=tr,
         engine="bitset",
         prepared=prepared if prepared is not None else PreparedGraph(g),
     ),
-    "frontier": lambda g, k, tr, prepared=None: count_cliques(
+    "frontier": lambda g, k, tr, prepared=None, budget=None: count_cliques(
         g,
         k,
         tracker=tr,
         engine="frontier",
         prepared=prepared if prepared is not None else PreparedGraph(g),
     ),
+    # Out-of-core contender: same frontier arithmetic, tables streamed
+    # through disk-backed shards sized to the budget (core/sharded.py).
+    "sharded": lambda g, k, tr, prepared=None, budget=None: count_cliques(
+        g,
+        k,
+        tracker=tr,
+        engine="sharded",
+        memory_budget_bytes=budget,
+        prepared=prepared if prepared is not None else PreparedGraph(g),
+    ),
     # Dispatch-as-measured: resolve_engine (core/api.py) picks the
     # executor exactly as a production query would; the resolved name
     # lands in Measurement.engine so the record never hides the choice.
-    "auto": lambda g, k, tr, prepared=None: count_cliques(
+    "auto": lambda g, k, tr, prepared=None, budget=None: count_cliques(
         g,
         k,
         tracker=tr,
         engine="auto",
+        memory_budget_bytes=budget,
         prepared=prepared if prepared is not None else PreparedGraph(g),
     ),
-    "kclist": lambda g, k, tr, prepared=None: kclist_count(g, k, tracker=tr),
-    "arbcount": lambda g, k, tr, prepared=None: arbcount_count(g, k, tracker=tr),
-    "chiba-nishizeki": lambda g, k, tr, prepared=None: chiba_nishizeki_count(
+    "kclist": lambda g, k, tr, prepared=None, budget=None: kclist_count(
         g, k, tracker=tr
     ),
+    "arbcount": lambda g, k, tr, prepared=None, budget=None: arbcount_count(
+        g, k, tracker=tr
+    ),
+    "chiba-nishizeki": lambda g, k, tr, prepared=None, budget=None: (
+        chiba_nishizeki_count(g, k, tracker=tr)
+    ),
 }
+
+
+def peak_rss_kb() -> int:
+    """The process's lifetime peak resident set size in KiB (0 if unknown).
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; both are
+    normalized to KiB. A platform without :mod:`resource` reports 0 —
+    records treat the field as optional.
+    """
+    try:
+        import resource
+        import sys
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":
+            rss //= 1024
+        return int(rss)
+    except (ImportError, ValueError, OSError):
+        return 0
 
 
 @dataclass
@@ -98,6 +134,7 @@ class Measurement:
     search_work: float = 0.0  # work of the search phase only (no preprocessing)
     peak_candidate: int = 0  # largest candidate set (gamma) seen in the search
     engine: str = ""  # resolved executor (never "auto"; baselines: their name)
+    peak_rss_kb: int = 0  # process peak RSS (KiB) after the cell ran; 0 = unknown
 
     def simulated_time(self, p: int) -> float:
         return self.work / p + self.depth
@@ -113,6 +150,7 @@ def run_experiment(
     metrics: Optional[object] = None,
     spans: Optional[object] = None,
     prepared: Optional[PreparedGraph] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> Measurement:
     """Measure one (graph, k, algorithm) cell.
 
@@ -147,7 +185,7 @@ def run_experiment(
             if spans is not None:
                 tracker.attach_spans(spans)
         start = time.perf_counter()
-        result = fn(graph, k, tracker, prepared=prepared)
+        result = fn(graph, k, tracker, prepared=prepared, budget=memory_budget_bytes)
         times.append(time.perf_counter() - start)
         if count is None:
             count = result.count
@@ -189,6 +227,7 @@ def run_experiment(
         search_work=search_work,
         peak_candidate=peak_candidate,
         engine=engine,
+        peak_rss_kb=peak_rss_kb(),
     )
 
 
@@ -199,6 +238,7 @@ def sweep(
     repeats: int = 3,
     graph_name: str = "",
     prepared: Optional[PreparedGraph] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> List[Measurement]:
     """Run the Figures-7/8/9 sweep: each algorithm at each clique size.
 
@@ -216,6 +256,7 @@ def sweep(
                     repeats=repeats,
                     graph_name=graph_name,
                     prepared=prepared,
+                    memory_budget_bytes=memory_budget_bytes,
                 )
             )
     return out

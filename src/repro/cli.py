@@ -51,6 +51,7 @@ from .bench.reporting import format_table
 from .core.api import ENGINES, VARIANTS, count_cliques, list_cliques
 from .core.existence import clique_spectrum
 from .core.prepared import PreparedGraph
+from .core.sharded import parse_memory_size
 from .pram.tracker import Tracker
 from .service.daemon import DEFAULT_PORT
 from .service.registry import load_graph_spec
@@ -84,6 +85,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         engine=args.engine,
         workers=args.workers,
         kernelize=args.kernelize,
+        memory_budget_bytes=args.memory_budget,
     )
     print(f"{args.k}-cliques: {result.count}")
     if args.cost:
@@ -178,6 +180,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     metrics=registry,
                     spans=recorder,
                     prepared=prepared,
+                    memory_budget_bytes=args.memory_budget,
                 )
                 measurements.append(m)
                 rows.append(
@@ -451,6 +454,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight_work=args.max_inflight_work,
         queue_limit=args.queue_limit,
         cache_size=args.cache_size,
+        memory_budget_bytes=args.memory_budget,
     )
     for item in args.graph or []:
         name, sep, spec = item.partition("=")
@@ -559,7 +563,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"  {key}: {value}", file=sys.stderr)
         # Admission rejections get their own exit code so scripts can
         # back off / retry instead of treating them as hard failures.
-        return 6 if exc.code in ("over-budget", "queue-full") else 1
+        return 6 if exc.code in ("over-budget", "over-memory", "queue-full") else 1
     except (ConnectionError, OSError) as exc:
         print(
             f"error: cannot reach daemon at {args.host}:{args.port}: {exc}",
@@ -596,8 +600,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=ENGINES,
         default="auto",
-        help="executor: auto (default), reference, frontier, bitset, or "
-        "process",
+        help="executor: auto (default), reference, frontier, bitset, "
+        "process, or sharded",
     )
     p.add_argument(
         "--workers",
@@ -605,6 +609,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the process engine (workers > 1 makes "
         "auto pick it)",
+    )
+    p.add_argument(
+        "--memory-budget",
+        type=parse_memory_size,
+        default=None,
+        metavar="SIZE",
+        help="cap on resident frontier-table bytes (e.g. 512M, 1G); when "
+        "the predicted tables exceed it, auto streams disk-backed shards "
+        "(default: unlimited)",
     )
     p.add_argument(
         "--kernelize",
@@ -692,6 +705,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated metrics the comparison watches",
     )
     p.add_argument("--note", default="", help="free-form note stored in the record")
+    p.add_argument(
+        "--memory-budget",
+        type=parse_memory_size,
+        default=None,
+        metavar="SIZE",
+        help="memory budget handed to budget-aware algorithms (e.g. "
+        "sharded; default: unlimited)",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -905,6 +926,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="prepared-context cache capacity (default 64)",
+    )
+    p.add_argument(
+        "--memory-budget",
+        type=parse_memory_size,
+        default=None,
+        metavar="SIZE",
+        help="resident table-byte budget (e.g. 512M): shardable queries "
+        "stream within it, unshardable over-budget queries are rejected "
+        "with over-memory (default: unlimited)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -22,6 +22,15 @@ from .prepared import (
 )
 from .sampling import CliqueEstimate, estimate_clique_count
 from .recursive import SearchStats, recursive_count
+from .sharded import (
+    ShardPlan,
+    ShardedTables,
+    parse_memory_size,
+    plan_shards,
+    predict_table_bytes,
+    sharded_count_cliques,
+    sharded_list_cliques,
+)
 from .variants import run_variant
 
 __all__ = [
@@ -55,4 +64,11 @@ __all__ = [
     "PeelResult",
     "estimate_clique_count",
     "CliqueEstimate",
+    "sharded_count_cliques",
+    "sharded_list_cliques",
+    "parse_memory_size",
+    "predict_table_bytes",
+    "plan_shards",
+    "ShardPlan",
+    "ShardedTables",
 ]

@@ -51,6 +51,11 @@ from .fast import fast_count_cliques
 from .frontier import frontier_count_cliques, frontier_list_cliques
 from .parallel import count_cliques_parallel
 from .prepared import PreparedGraph, prepare
+from .sharded import (
+    predict_table_bytes,
+    sharded_count_cliques,
+    sharded_list_cliques,
+)
 from .recursive import SearchStats
 from .variants import VARIANTS, run_variant
 
@@ -64,7 +69,7 @@ __all__ = [
     "VARIANTS",
 ]
 
-ENGINES = ("auto", "reference", "frontier", "bitset", "process")
+ENGINES = ("auto", "reference", "frontier", "bitset", "process", "sharded")
 
 
 class EngineDecision(str):
@@ -93,6 +98,7 @@ def resolve_engine(
     prune: bool,
     workers: Optional[int],
     tracker: Tracker,
+    memory_budget_bytes: Optional[int] = None,
 ) -> EngineDecision:
     """The concrete engine ``auto`` dispatches to for this query.
 
@@ -112,10 +118,33 @@ def resolve_engine(
       bitset-kernel auto-pick is retired: ``bitset`` remains available
       only by explicit request.
 
+    * ``sharded`` when a ``memory_budget_bytes`` is armed and the full
+      frontier tables would not fit it: the out-of-core engine streams
+      table shards through a bounded window (``workers`` still fans the
+      shards out over processes). The memory leg outranks the
+      process/frontier legs — an engine that would blow the budget is
+      not a candidate — but only fires in the regime the frontier engine
+      would otherwise own (k ≥ 4, best-work, pruned).
+
     ``prepared``/``tracker`` are part of the stable signature so future
     recalibrations can consult graph shape without changing callers.
     """
-    del prepared, tracker  # current crossovers are shape-independent
+    if (
+        memory_budget_bytes is not None
+        and k >= 4
+        and variant == "best-work"
+        and prune
+    ):
+        dag = prepared.dag("degeneracy", tracker)
+        predicted = predict_table_bytes(dag.num_edges, dag.max_out_degree)
+        if predicted > memory_budget_bytes:
+            return EngineDecision(
+                "sharded",
+                f"predicted frontier tables ({predicted} B) exceed the "
+                f"memory budget ({memory_budget_bytes} B): stream "
+                "source-range table shards through a bounded window",
+            )
+    del prepared, tracker  # remaining crossovers are shape-independent
     if workers is not None and workers > 1:
         return EngineDecision(
             "process",
@@ -221,6 +250,7 @@ def count_cliques(
     workers: Optional[int] = None,
     prepared: Optional[PreparedGraph] = None,
     kernelize: bool = False,
+    memory_budget_bytes: Optional[int] = None,
 ) -> CliqueSearchResult:
     """Count all k-cliques of ``graph``.
 
@@ -260,6 +290,12 @@ def count_cliques(
         (k ≥ 4 only — the reduction preserves exactly the k-cliques).
         The kernelized context is memoized on the prepared graph, and the
         reduction is published as ``kernel.shrink_ratio``.
+    memory_budget_bytes:
+        Resident-table budget (``None`` = unlimited, the default). When
+        the predicted frontier tables exceed it, ``auto`` dispatches to
+        the out-of-core ``sharded`` engine; an explicit
+        ``engine="sharded"`` or ``engine="process"`` request also honors
+        the budget. The CLI's ``--memory-budget 512M`` flag feeds this.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -274,11 +310,20 @@ def count_cliques(
         graph, ctx, _ = _kernelized(graph, ctx, k, tracker)
 
     if engine == "auto":
-        decision = resolve_engine(ctx, k, variant, prune, workers, tracker)
+        decision = resolve_engine(
+            ctx, k, variant, prune, workers, tracker,
+            memory_budget_bytes=memory_budget_bytes,
+        )
         engine, reason = str(decision), decision.reason
     else:
         reason = f"engine {engine!r} explicitly requested"
 
+    if engine == "sharded":
+        count = sharded_count_cliques(
+            graph, k, memory_budget_bytes=memory_budget_bytes,
+            prepared=ctx, tracker=tracker, prune=prune, workers=workers,
+        )
+        return _synthesize_result(ctx, k, count, tracker, engine, reason)
     if engine == "frontier":
         count = frontier_count_cliques(
             graph, k, prepared=ctx, tracker=tracker, prune=prune
@@ -294,6 +339,7 @@ def count_cliques(
         count = count_cliques_parallel(
             graph, k, n_workers=workers, tracker=tracker, prepared=ctx,
             engine="frontier" if (k >= 4 and prune) else "reference",
+            memory_budget_bytes=memory_budget_bytes,
         )
         return _synthesize_result(ctx, k, count, tracker, engine, reason)
     result = run_variant(
@@ -314,6 +360,7 @@ def list_cliques(
     prepared: Optional[PreparedGraph] = None,
     engine: str = "reference",
     kernelize: bool = False,
+    memory_budget_bytes: Optional[int] = None,
 ) -> List[Tuple[int, ...]]:
     """List all k-cliques as sorted vertex tuples (each exactly once).
 
@@ -326,16 +373,20 @@ def list_cliques(
     the hot path, so this function returns the listing as-is and a test
     asserts the canonical order instead.
 
-    ``engine`` is ``reference`` (default, the instrumented path) or
-    ``frontier`` (the vectorized level-synchronous lister); the bitset
-    and process engines only count. With ``kernelize=True`` the listing
-    runs on the triangle-support kernel and every witness is lifted back
-    to original vertex ids (re-canonicalized after lifting).
+    ``engine`` is ``reference`` (default, the instrumented path),
+    ``frontier`` (the vectorized level-synchronous lister), or
+    ``sharded`` (the out-of-core lister — table blocks streamed under
+    ``memory_budget_bytes``); the bitset and process engines only count.
+    A ``frontier`` request with a budget its tables would not fit is
+    upgraded to ``sharded`` — same output, bounded tables. With
+    ``kernelize=True`` the listing runs on the triangle-support kernel
+    and every witness is lifted back to original vertex ids
+    (re-canonicalized after lifting).
     """
-    if engine not in ("reference", "frontier"):
+    if engine not in ("reference", "frontier", "sharded"):
         raise ValueError(
-            f"listing supports engines ('reference', 'frontier'), "
-            f"got {engine!r}"
+            f"listing supports engines ('reference', 'frontier', "
+            f"'sharded'), got {engine!r}"
         )
     tracker = tracker if tracker is not None else Tracker()
     ctx = prepared if prepared is not None else prepare(
@@ -348,7 +399,23 @@ def list_cliques(
     if kernelize:
         graph, ctx, kern = _kernelized(graph, ctx, k, tracker)
 
-    if engine == "frontier":
+    if (
+        engine == "frontier"
+        and memory_budget_bytes is not None
+        and k >= 4
+    ):
+        dag = ctx.dag("degeneracy", tracker)
+        if (
+            predict_table_bytes(dag.num_edges, dag.max_out_degree)
+            > memory_budget_bytes
+        ):
+            engine = "sharded"
+    if engine == "sharded":
+        listed = sharded_list_cliques(
+            graph, k, memory_budget_bytes=memory_budget_bytes,
+            prepared=ctx, tracker=tracker,
+        )
+    elif engine == "frontier":
         listed = frontier_list_cliques(graph, k, prepared=ctx, tracker=tracker)
     else:
         result = run_variant(

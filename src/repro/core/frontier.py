@@ -277,12 +277,15 @@ def count_frontier_slice(
     eligible: np.ndarray,
     c: int,
     prune: bool = True,
+    metrics=None,
 ) -> int:
     """Count the cliques rooted at a slice of eligible edges (no listing).
 
     The process-parallel wrapper fans the eligible-edge range out in
     chunks; each worker calls this on its slice against the shared
-    (copy-on-write) tables.
+    (copy-on-write) tables. The out-of-core engine drives it per shard
+    block — ``metrics`` (optional) lets those streamed drives record the
+    ``frontier.*`` instruments like the monolithic path does.
 
     Frozen: tables
     """
@@ -293,6 +296,7 @@ def count_frontier_slice(
         tables.rows_in[eids],
         c,
         prune=prune,
+        metrics=metrics,
     )
     return total
 

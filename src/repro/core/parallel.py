@@ -78,6 +78,7 @@ def count_cliques_parallel(
     tracker: Optional[Tracker] = None,
     prepared: Optional[PreparedGraph] = None,
     engine: str = "reference",
+    memory_budget_bytes: Optional[int] = None,
 ) -> int:
     """Count k-cliques with the outer edge loop on real processes.
 
@@ -91,6 +92,12 @@ def count_cliques_parallel(
     ``engine`` selects the per-worker kernel: ``reference`` (default,
     the instrumented recursion) or ``frontier`` (level-synchronous
     vectorized slices — what the façade uses for k ≥ 4).
+
+    ``memory_budget_bytes`` bounds the resident frontier tables: when
+    the ``frontier`` kernel's full tables would exceed it, the fan-out
+    delegates to the out-of-core sharded engine (same worker pool, whole
+    table shards as the unit of distribution) instead of materializing
+    O(m·γ) bytes in the parent and every fork.
     """
     if engine not in _PARALLEL_ENGINES:
         raise ValueError(
@@ -128,6 +135,21 @@ def count_cliques_parallel(
     # Per-edge work scales with community size (Lemma 3.2's bound), so
     # weight the contiguous chunks by it rather than by edge count.
     weights = comms.sizes[eligible].astype(np.float64)
+    if engine == "frontier" and memory_budget_bytes is not None:
+        from .sharded import predict_table_bytes, sharded_count_cliques
+
+        if (
+            predict_table_bytes(dag.num_edges, dag.max_out_degree)
+            > memory_budget_bytes
+        ):
+            return sharded_count_cliques(
+                graph,
+                k,
+                memory_budget_bytes=memory_budget_bytes,
+                prepared=ctx,
+                tracker=prep_tracker,
+                workers=n_workers,
+            )
     if engine == "frontier":
         assert ctx is not None
         tables = ctx.frontier_tables("degeneracy", prep_tracker)

@@ -99,6 +99,7 @@ PIECE_KINDS = (
     "communities",
     "edge_order",
     "frontier_tables",
+    "sharded_tables",
     "kernel",
 )
 _PIECE_STORES = {
@@ -108,8 +109,48 @@ _PIECE_STORES = {
     "communities": "_communities",
     "edge_order": "_edge_orders",
     "frontier_tables": "_frontier_tables",
+    "sharded_tables": "_sharded_tables",
     "kernel": "_kernels",
 }
+
+
+def _approx_nbytes(obj: Any, seen: set) -> int:
+    """Recursively approximate the resident bytes an object keeps alive.
+
+    Counts numpy array payloads (the only thing that matters at scale)
+    and walks dicts/sequences/slotted objects to find them; a shared
+    array is counted once (``seen`` dedups by id). Disk-backed
+    ``np.memmap`` blocks count as zero — their residency is governed by
+    the shard window and reported by the ``shard.bytes.*`` gauges, not
+    by the cache's resident-bytes number. Weakrefs are never followed.
+    """
+    oid = id(obj)
+    if oid in seen or obj is None:
+        return 0
+    seen.add(oid)
+    if isinstance(obj, np.memmap):
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, weakref.ref):
+        return 0
+    if isinstance(obj, dict):
+        return sum(_approx_nbytes(v, seen) for v in obj.values())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(_approx_nbytes(v, seen) for v in obj)
+    if isinstance(obj, (int, float, complex, str, bytes, bool)):
+        return 0
+    total = 0
+    for klass in type(obj).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            try:
+                total += _approx_nbytes(getattr(obj, name), seen)
+            except AttributeError:
+                continue
+    inst = getattr(obj, "__dict__", None)
+    if inst:
+        total += _approx_nbytes(inst, seen)
+    return total
 
 
 class PreparedGraph:
@@ -134,6 +175,7 @@ class PreparedGraph:
         "_communities",
         "_edge_orders",
         "_frontier_tables",
+        "_sharded_tables",
         "_kernels",
     )
 
@@ -159,6 +201,7 @@ class PreparedGraph:
         self._communities: Dict[str, EdgeCommunities] = {}
         self._edge_orders: Dict[str, EdgeOrderResult] = {}
         self._frontier_tables: Dict[str, Any] = {}
+        self._sharded_tables: Dict[Tuple[str, Optional[int], int], Any] = {}
         self._kernels: Dict[int, Any] = {}
 
     @property
@@ -373,6 +416,73 @@ class PreparedGraph:
             self._frontier_tables[variant] = got
         return got
 
+    def sharded_tables(
+        self,
+        variant: str = "degeneracy",
+        tracker: Tracker = NULL_TRACKER,
+        memory_budget_bytes: Optional[int] = None,
+        window: int = 2,
+    ) -> Any:
+        """The out-of-core shard plan + lazily-built table blocks.
+
+        Keyed by ``(variant, budget, window)`` — a different budget
+        yields a different shard partition. Only the *plan* is built
+        here (and charged, like the in-RAM tables, under the ``bitrows``
+        phase); individual blocks materialize on demand inside the
+        returned :class:`~repro.core.sharded.ShardedTables` and are
+        individually evictable, so a warm context never pins more than
+        the windowed blocks resident.
+        """
+        self._check_variant(variant)
+        key = (
+            variant,
+            None if memory_budget_bytes is None else int(memory_budget_bytes),
+            int(window),
+        )
+        with self._lock:
+            got = self._sharded_tables.get(key)
+            if got is not None and not got.closed:
+                self._note(tracker, hit=True)
+                return got
+            from .sharded import ShardedTables, plan_shards
+
+            dag = self.dag(variant, tracker)
+            tri = self.triangles(variant, tracker)
+            self._note(tracker, hit=False)
+            with tracker.phase("bitrows"):
+                plan = plan_shards(
+                    dag.out_indptr,
+                    (dag.max_out_degree + 63) // 64,
+                    memory_budget_bytes,
+                    window,
+                )
+                got = ShardedTables(dag, tri, plan)
+                tracker.charge(
+                    Cost(
+                        float(dag.num_vertices + plan.num_shards),
+                        log2p1(dag.num_vertices) + 1,
+                    )
+                )
+            self._sharded_tables[key] = got
+        return got
+
+    def approx_bytes(self) -> int:
+        """Approximate resident bytes of the memoized pieces.
+
+        Counts numpy payloads across every piece store, deduplicating
+        shared arrays (the triangles feed the communities *and* the
+        tables — they count once). The graph itself is not counted: the
+        cache holds it weakly, so its lifetime — and its bytes — belong
+        to the caller. Spilled shard blocks count as zero (disk, not
+        RAM); see :func:`_approx_nbytes`.
+        """
+        with self._lock:
+            seen: set = set()
+            return sum(
+                _approx_nbytes(getattr(self, store), seen)
+                for store in _PIECE_STORES.values()
+            )
+
     def kernel(
         self, k: int, tracker: Tracker = NULL_TRACKER
     ) -> Tuple["Kernel", "PreparedGraph"]:
@@ -478,10 +588,15 @@ class PreparedCache:
     calls ``put`` and a weakref callback may fire on the holding thread.
     """
 
-    def __init__(self, maxsize: int = 32) -> None:
+    def __init__(
+        self, maxsize: int = 32, max_bytes: Optional[int] = None
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.maxsize = maxsize
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -551,6 +666,9 @@ class PreparedCache:
                 self._entries.move_to_end(key)
                 if metrics is not None:
                     metrics.counter("prepared.graph.hit").inc()
+                    metrics.gauge("prepared.graph.bytes").set(
+                        self.total_bytes()
+                    )
                 return entry
             if entry is not None:
                 # A stale slot (dead graph whose callback has not fired, or
@@ -560,6 +678,7 @@ class PreparedCache:
             self.misses += 1
             if metrics is not None:
                 metrics.counter("prepared.graph.miss").inc()
+                metrics.gauge("prepared.graph.bytes").set(self.total_bytes())
             build_version = 0 if version is None else int(version)
             entry = PreparedGraph(
                 graph, eps=eps, pin=False, version=build_version
@@ -623,7 +742,30 @@ class PreparedCache:
                 # At most one over: put() only ever inserts a single entry.
                 old_key, _ = self._entries.popitem(last=False)
                 self._refs.pop(old_key, None)
+            if self.max_bytes is not None:
+                # Byte-aware eviction: the entry-count LRU alone let 32
+                # small keys pin 32 huge preprocessing contexts. Evict
+                # cold entries until the resident estimate fits; the
+                # just-inserted entry always survives (a single context
+                # over budget is the caller's problem, not a deadlock).
+                while (
+                    len(self._entries) > 1
+                    and self.total_bytes() > self.max_bytes
+                ):
+                    old_key, _ = self._entries.popitem(last=False)
+                    self._refs.pop(old_key, None)
+                    self.invalidations += 1
         return entry
+
+    def total_bytes(self) -> int:
+        """Approximate resident bytes across every cached context."""
+        with self._lock:
+            seen: set = set()
+            total = 0
+            for entry in self._entries.values():
+                for store in _PIECE_STORES.values():
+                    total += _approx_nbytes(getattr(entry, store), seen)
+            return total
 
     def invalidate(self, graph: CSRGraph) -> int:
         """Drop every entry of ``graph`` (all eps/version keys); return count.
@@ -666,6 +808,7 @@ class PreparedCache:
                 "invalidations": self.invalidations,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
+                "approx_bytes": self.total_bytes(),
             }
 
 

@@ -1,0 +1,759 @@
+"""Out-of-core sharded frontier engine: count k-cliques beyond RAM.
+
+The frontier engine's two m×W packed-bitset tables are the library's
+scale ceiling: O(m·γ) bytes, materialized up front, resident for the
+whole query. This module removes the ceiling by *sharding* the tables
+along the source-vertex axis and streaming the shards through a
+bounded-memory window.
+
+Why source-range sharding is exact
+----------------------------------
+A frontier drive rooted at the eligible edges of source ``u`` only ever
+touches table rows in ``[out_indptr[u], out_indptr[u] + outdeg(u))``:
+every mask derived from an edge of ``u`` renames candidates within
+``N⁺(u)``, and every gathered row index is ``base + p`` with ``base =
+out_indptr[u]``. So the table block of a contiguous source range
+``[v_lo, v_hi)`` — the edge rows ``[e0, e1) = [out_indptr[v_lo],
+out_indptr[v_hi])`` — is fully self-contained: rebase the row offsets by
+``-e0`` and the unmodified level-synchronous drive
+(:func:`repro.core.frontier.count_frontier_slice`) runs on the block as
+if it were a whole graph's tables. Clique counting is additive over the
+disjoint union of per-source-edge subproblems (the decomposition the
+process-parallel wrapper already exploits), so the global count is the
+sum of per-shard counts — bit-identical to the in-RAM engine.
+
+The machinery
+-------------
+* :func:`plan_shards` sizes shards *before* any allocation from the
+  exact per-shard byte cost ``16·m_shard·W`` (two tables × 8-byte words)
+  so that ``window`` concurrently-resident blocks fit the
+  ``memory_budget_bytes`` envelope; a single source vertex is the
+  indivisible minimum.
+* :class:`ShardedTables` builds each shard's block on demand into a
+  ``np.memmap`` scratch file under a managed spill directory
+  (:class:`SpillDir`), keeps at most ``window`` blocks mapped (LRU), and
+  evicts the rest — eviction drops the mapping and unlinks the scratch
+  file, so the resident footprint tracks the budget, not the graph.
+* :func:`sharded_count_cliques` / :func:`sharded_list_cliques` stream
+  the eligible-edge slices shard by shard (or fan shards out over the
+  weighted process executor), with optional per-shard verification
+  against the disjoint-union additivity oracle (``verify=True`` re-counts
+  each shard as two half-slices and asserts the sums agree).
+
+Observability: ``shard.count``, ``shard.bytes.built``,
+``shard.bytes.spilled``, ``shard.bytes.resident``,
+``shard.bytes.resident_peak``, ``shard.window.occupancy``,
+``shard.evictions`` and ``shard.wall_imbalance`` land in the tracker's
+metrics registry (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import tempfile
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..pram.tracker import NULL_TRACKER, Tracker
+from .frontier import (
+    _BITS,
+    FrontierTables,
+    _drive,
+    count_frontier_slice,
+)
+from .prepared import PreparedGraph
+
+__all__ = [
+    "parse_memory_size",
+    "predict_table_bytes",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+    "SpillDir",
+    "ShardedTables",
+    "sharded_count_cliques",
+    "sharded_list_cliques",
+]
+
+# Two tables (rows, rows_in) of uint64 words per directed-edge row.
+BYTES_PER_WORD = 8
+TABLES_PER_EDGE = 2
+
+_SIZE_RE = re.compile(r"^([0-9]*\.?[0-9]+)\s*([A-Z]*)$")
+_SIZE_UNITS = {
+    "": 1,
+    "B": 1,
+    "K": 1024,
+    "KB": 1024,
+    "KIB": 1024,
+    "M": 1024 ** 2,
+    "MB": 1024 ** 2,
+    "MIB": 1024 ** 2,
+    "G": 1024 ** 3,
+    "GB": 1024 ** 3,
+    "GIB": 1024 ** 3,
+    "T": 1024 ** 4,
+    "TB": 1024 ** 4,
+    "TIB": 1024 ** 4,
+}
+
+
+def parse_memory_size(text: Optional[str]) -> Optional[int]:
+    """Parse a human-readable byte size; ``None``/``"unlimited"`` → ``None``.
+
+    Accepts plain byte counts (``"1048576"``) and binary-suffixed forms
+    (``"64K"``, ``"512M"``, ``"1.5G"``, ``"2GiB"``). The return value is
+    a positive integer byte count, or ``None`` for the unlimited
+    sentinel — the convention every ``memory_budget_bytes`` parameter in
+    the library follows.
+    """
+    if text is None:
+        return None
+    if isinstance(text, (int, float)):
+        value = int(text)
+        if value <= 0:
+            raise ValueError(f"memory budget must be positive, got {text!r}")
+        return value
+    s = str(text).strip().upper()
+    if s in ("", "NONE", "UNLIMITED", "INF", "INFINITY", "0"):
+        return None
+    match = _SIZE_RE.match(s)
+    if match is None or match.group(2) not in _SIZE_UNITS:
+        raise ValueError(
+            f"cannot parse memory size {text!r}; "
+            "use forms like 1048576, 64K, 512M or 1.5G"
+        )
+    value = int(float(match.group(1)) * _SIZE_UNITS[match.group(2)])
+    if value <= 0:
+        raise ValueError(f"memory budget must be positive, got {text!r}")
+    return value
+
+
+def predict_table_bytes(m: int, max_out_degree: int) -> int:
+    """Exact bytes of the full in-RAM frontier tables of a DAG.
+
+    ``16·m·W`` with ``W = ceil(max_out_degree / 64)``: two m×W uint64
+    tables. Computable from cheap statistics before any allocation —
+    the admission controller uses the degeneracy ``s`` as the
+    ``max_out_degree`` bound (out-degrees under a degeneracy order never
+    exceed ``s``), the dispatcher uses the oriented DAG's exact value.
+    """
+    width = (int(max_out_degree) + 63) // 64
+    return TABLES_PER_EDGE * BYTES_PER_WORD * int(m) * width
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous source-vertex range and its directed-edge rows."""
+
+    index: int
+    v_lo: int
+    v_hi: int
+    e0: int
+    e1: int
+
+    @property
+    def num_edges(self) -> int:
+        return self.e1 - self.e0
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The source-range partition of a DAG's frontier tables.
+
+    Shards partition ``[0, n)`` by vertex and ``[0, m)`` by edge row;
+    ``table_bytes(i)`` is the exact block cost the planner sized
+    against, so callers can reason about the spill/resident envelope
+    before any allocation.
+    """
+
+    shards: Tuple[Shard, ...]
+    width: int
+    num_vertices: int
+    num_edges: int
+    memory_budget_bytes: Optional[int]
+    window: int
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def bytes_per_edge(self) -> int:
+        return TABLES_PER_EDGE * BYTES_PER_WORD * self.width
+
+    def table_bytes(self, index: int) -> int:
+        return self.shards[index].num_edges * self.bytes_per_edge
+
+    @property
+    def total_table_bytes(self) -> int:
+        return self.num_edges * self.bytes_per_edge
+
+    @property
+    def max_shard_bytes(self) -> int:
+        if not self.shards:
+            return 0
+        return max(self.table_bytes(s.index) for s in self.shards)
+
+
+def plan_shards(
+    out_indptr: np.ndarray,
+    width: int,
+    memory_budget_bytes: Optional[int] = None,
+    window: int = 2,
+) -> ShardPlan:
+    """Partition the source-vertex range so windowed blocks fit the budget.
+
+    The per-shard envelope is ``memory_budget_bytes // window`` (the
+    streaming loop keeps up to ``window`` blocks mapped at once); the
+    greedy walk closes a shard at the last vertex whose cumulative edge
+    rows still fit, with a single vertex as the indivisible minimum —
+    one hub's ``outdeg·W`` rows can exceed any budget, and splitting a
+    source would break the self-containment invariant. A ``None``
+    budget (or a zero-width table) degenerates to one all-covering
+    shard: the planner never pays overhead the budget doesn't ask for.
+    """
+    n = int(out_indptr.shape[0]) - 1
+    m = int(out_indptr[-1]) if n >= 0 else 0
+    window = max(1, int(window))
+    bytes_per_edge = TABLES_PER_EDGE * BYTES_PER_WORD * int(width)
+    if memory_budget_bytes is None or bytes_per_edge == 0 or m == 0 or n <= 0:
+        shards = (Shard(0, 0, n, 0, m),) if n > 0 else ()
+        return ShardPlan(shards, int(width), n, m, memory_budget_bytes, window)
+    per_shard = max(1, int(memory_budget_bytes) // window)
+    max_edges = max(1, per_shard // bytes_per_edge)
+    shards: List[Shard] = []
+    v_lo = 0
+    while v_lo < n:
+        e0 = int(out_indptr[v_lo])
+        # Last vertex boundary still within e0 + max_edges; trailing
+        # zero-out-degree vertices ride along for free (indptr is flat
+        # across them, so they never add block bytes).
+        v_hi = int(
+            np.searchsorted(out_indptr, e0 + max_edges, side="right")
+        ) - 1
+        v_hi = min(max(v_hi, v_lo + 1), n)
+        shards.append(
+            Shard(len(shards), v_lo, v_hi, e0, int(out_indptr[v_hi]))
+        )
+        v_lo = v_hi
+    return ShardPlan(
+        tuple(shards), int(width), n, m, int(memory_budget_bytes), window
+    )
+
+
+class SpillDir:
+    """A managed scratch directory for memory-mapped shard blocks.
+
+    Created eagerly, removed exactly once — by :meth:`close`, or by the
+    ``weakref.finalize`` guard when the owner is garbage-collected or
+    the interpreter exits (including exits forced by an unhandled
+    ``KeyboardInterrupt``). Removal is recursive and error-tolerant, so
+    a crashed run never strands scratch files past process death.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.path = tempfile.mkdtemp(prefix="repro-shard-", dir=root)
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, self.path, ignore_errors=True
+        )
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def file(self, name: str) -> str:
+        return os.path.join(self.path, name)
+
+    def close(self) -> None:
+        """Remove the directory and everything in it (idempotent)."""
+        self._finalizer()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return f"SpillDir({self.path!r}, {state})"
+
+
+class _Block:
+    """One resident shard block: its tables view and its scratch file."""
+
+    __slots__ = ("tables", "path", "nbytes", "pid")
+
+    def __init__(
+        self,
+        tables: FrontierTables,
+        path: Optional[str],
+        nbytes: int,
+        pid: int,
+    ) -> None:
+        self.tables = tables
+        self.path = path
+        self.nbytes = nbytes
+        self.pid = pid
+
+
+class ShardedTables:
+    """Lazily-built, individually-evictable shard blocks of one DAG.
+
+    Each block is the frontier-table pair of one shard, built on first
+    use into a ``np.memmap`` under the spill directory and rebased so
+    local edge row ``e - e0`` is the block's row index. At most
+    ``plan.window`` blocks stay mapped (LRU); eviction unmaps and
+    unlinks. Forked worker processes inherit the object copy-on-write:
+    scratch filenames carry the builder's pid, and eviction only unlinks
+    files the *current* process created, so a child can never delete a
+    block its parent (or sibling) is still reading.
+    """
+
+    def __init__(
+        self,
+        dag: Any,
+        triangles: np.ndarray,
+        plan: ShardPlan,
+        spill_root: Optional[str] = None,
+    ) -> None:
+        self._dag = dag
+        self.plan = plan
+        tri = triangles
+        if tri.shape[0] and np.any(np.diff(tri[:, 0]) < 0):
+            # Dynamic patching can leave triangles unsorted by source;
+            # the per-shard slicing below needs sortedness once.
+            tri = tri[np.argsort(tri[:, 0], kind="stable")]
+        self._triangles = tri
+        self._spill = SpillDir(root=spill_root)
+        self._lock = threading.RLock()
+        self._blocks: "OrderedDict[int, _Block]" = OrderedDict()
+        self.bytes_built = 0
+        self.evictions = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def spill_path(self) -> str:
+        return self._spill.path
+
+    @property
+    def closed(self) -> bool:
+        return self._spill.closed
+
+    def resident_bytes(self) -> int:
+        """Bytes of currently-mapped blocks (the windowed footprint)."""
+        with self._lock:
+            return sum(b.nbytes for b in self._blocks.values())
+
+    def resident_shards(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._blocks.keys())
+
+    def close(self) -> None:
+        """Evict everything and remove the spill directory (idempotent)."""
+        with self._lock:
+            self.evict_all()
+            self._spill.close()
+
+    # -- block window ------------------------------------------------------
+
+    def _evict_one(self) -> None:
+        _, block = self._blocks.popitem(last=False)
+        self.evictions += 1
+        block.tables = None  # type: ignore[assignment]
+        if block.path is not None and block.pid == os.getpid():
+            try:
+                os.unlink(block.path)
+            except OSError:
+                pass
+
+    def evict(self, index: Optional[int] = None) -> int:
+        """Drop one block (the LRU one, or ``index``); returns count dropped."""
+        with self._lock:
+            if not self._blocks:
+                return 0
+            if index is not None:
+                if index not in self._blocks:
+                    return 0
+                self._blocks.move_to_end(index, last=False)
+            self._evict_one()
+            return 1
+
+    def evict_all(self) -> int:
+        with self._lock:
+            dropped = 0
+            while self._blocks:
+                self._evict_one()
+                dropped += 1
+            return dropped
+
+    def _build_block(self, shard: Shard) -> _Block:
+        dag = self._dag
+        width = self.plan.width
+        m_shard = shard.num_edges
+        e0, e1 = shard.e0, shard.e1
+        n = dag.num_vertices
+        us, _ = dag.edge_endpoints()
+        us_slice = us[e0:e1].astype(np.int64)
+        base = dag.out_indptr[us_slice] - e0
+        base.setflags(write=False)
+        if width == 0 or m_shard == 0:
+            rows = np.zeros((m_shard, width), dtype=np.uint64)
+            rows_in = np.zeros((m_shard, width), dtype=np.uint64)
+            rows.setflags(write=False)
+            rows_in.setflags(write=False)
+            tables = FrontierTables(rows, rows_in, base, width)
+            return _Block(tables, None, 0, os.getpid())
+        path = self._spill.file(f"shard-{shard.index}-pid{os.getpid()}.bin")
+        mm = np.memmap(
+            path, dtype=np.uint64, mode="w+", shape=(2, m_shard, width)
+        )
+        tri = self._triangles
+        lo = int(np.searchsorted(tri[:, 0], shard.v_lo, side="left"))
+        hi = int(np.searchsorted(tri[:, 0], shard.v_hi, side="left"))
+        if hi > lo:
+            keys_shard = (
+                us_slice * n + dag.out_indices[e0:e1].astype(np.int64)
+            )
+            u = tri[lo:hi, 0].astype(np.int64)
+            w = tri[lo:hi, 1].astype(np.int64)
+            v = tri[lo:hi, 2].astype(np.int64)
+            e_uw = np.searchsorted(keys_shard, u * n + w)
+            e_uv = np.searchsorted(keys_shard, u * n + v)
+            src_base = dag.out_indptr[u] - e0
+            iw = e_uw - src_base
+            iv = e_uv - src_base
+            np.bitwise_or.at(mm[0], (e_uw, iv >> 6), _BITS[iv & 63])
+            np.bitwise_or.at(mm[1], (e_uv, iw >> 6), _BITS[iw & 63])
+        mm.flush()
+        mm.setflags(write=False)
+        tables = FrontierTables(mm[0], mm[1], base, width)
+        return _Block(tables, path, int(mm.nbytes), os.getpid())
+
+    def block(self, index: int, metrics: Any = None) -> FrontierTables:
+        """The frontier tables of shard ``index``, building on a miss.
+
+        A hit refreshes the block's LRU position; a miss builds the
+        memmap block and evicts down to the window. ``metrics`` (a
+        registry, optional) receives the ``shard.*`` build/evict/
+        residency instruments.
+        """
+        shard = self.plan.shards[index]
+        with self._lock:
+            if self._spill.closed:
+                raise RuntimeError(
+                    "sharded tables are closed; their spill directory is gone"
+                )
+            got = self._blocks.get(index)
+            if got is not None:
+                self._blocks.move_to_end(index)
+                return got.tables
+            block = self._build_block(shard)
+            self._blocks[index] = block
+            self.bytes_built += block.nbytes
+            evicted_before = self.evictions
+            while len(self._blocks) > self.plan.window:
+                self._evict_one()
+            if metrics is not None:
+                metrics.counter("shard.bytes.built").inc(block.nbytes)
+                if block.path is not None:
+                    metrics.counter("shard.bytes.spilled").inc(block.nbytes)
+                if self.evictions > evicted_before:
+                    metrics.counter("shard.evictions").inc(
+                        self.evictions - evicted_before
+                    )
+                resident = sum(b.nbytes for b in self._blocks.values())
+                metrics.gauge("shard.bytes.resident").set(resident)
+                metrics.gauge("shard.bytes.resident_peak").set_max(resident)
+                metrics.histogram("shard.window.occupancy").record(
+                    len(self._blocks)
+                )
+            return block.tables
+
+
+def _eligible_bounds(
+    eligible: np.ndarray, plan: ShardPlan
+) -> np.ndarray:
+    """Index of the first eligible edge at or past each shard boundary."""
+    edges = np.fromiter(
+        (s.e0 for s in plan.shards), dtype=np.int64, count=plan.num_shards
+    )
+    bounds = np.searchsorted(eligible, edges)
+    return np.append(bounds, eligible.size)
+
+
+def _count_shard(
+    sharded: ShardedTables,
+    index: int,
+    eligible_local: np.ndarray,
+    c: int,
+    prune: bool,
+    verify: bool,
+    metrics: Any = None,
+) -> int:
+    """Count one shard's slice, optionally re-proving additivity on it."""
+    tables = sharded.block(index, metrics=metrics)
+    total = count_frontier_slice(
+        tables, eligible_local, c, prune=prune, metrics=metrics
+    )
+    if verify and eligible_local.size > 1:
+        # Disjoint-union additivity oracle: the slice's count must equal
+        # the sum over any partition of the slice — recount as halves.
+        mid = eligible_local.size // 2
+        lo = count_frontier_slice(tables, eligible_local[:mid], c, prune=prune)
+        hi = count_frontier_slice(tables, eligible_local[mid:], c, prune=prune)
+        if lo + hi != total:
+            raise AssertionError(
+                f"shard {index}: additivity violated "
+                f"({lo} + {hi} != {total})"
+            )
+    return total
+
+
+def _shard_worker(chunk: np.ndarray, k: int, prune: bool, verify: bool) -> int:
+    """Process-pool worker: count the shards of one chunk.
+
+    Reads ``(sharded, eligible, bounds)`` from the executor's state
+    channel; each forked child streams its shards through its own block
+    window (scratch filenames are pid-scoped, so siblings never
+    collide), evicting as it goes.
+    """
+    from ..pram.executor import worker_state
+
+    sharded, eligible, bounds = worker_state()
+    total = 0
+    for idx in chunk.tolist():
+        lo, hi = int(bounds[idx]), int(bounds[idx + 1])
+        if lo == hi:
+            continue
+        shard = sharded.plan.shards[idx]
+        local = eligible[lo:hi] - shard.e0
+        total += _count_shard(sharded, idx, local, k - 2, prune, verify)
+        sharded.evict(idx)
+    return total
+
+
+def _setup_sharded(
+    graph: CSRGraph,
+    k: int,
+    memory_budget_bytes: Optional[int],
+    prepared: Optional[PreparedGraph],
+    tracker: Tracker,
+    window: int,
+    spill_root: Optional[str],
+) -> Tuple[Optional[PreparedGraph], Any, Any, Optional[ShardedTables], bool]:
+    """Resolve (ctx, dag, comms, sharded, owned) for a sharded query.
+
+    ``owned=True`` means the caller must close the sharded tables when
+    done (cold path: nothing else can reuse them). Warm path: the piece
+    is memoized on the prepared context keyed by (budget, window), so a
+    multi-k sweep or a warm server streams from the same spill files.
+    """
+    ctx = prepared if prepared is not None else PreparedGraph(graph)
+    if ctx.graph is not graph:
+        raise ValueError("prepared context was built for a different graph")
+    dag = ctx.dag("degeneracy", tracker)
+    comms = ctx.communities("degeneracy", tracker)
+    if k == 3:
+        return ctx, dag, comms, None, False
+    if prepared is not None and spill_root is None:
+        sharded = ctx.sharded_tables(
+            "degeneracy",
+            tracker,
+            memory_budget_bytes=memory_budget_bytes,
+            window=window,
+        )
+        return ctx, dag, comms, sharded, False
+    tri = ctx.triangles("degeneracy", tracker)
+    plan = plan_shards(
+        dag.out_indptr, (dag.max_out_degree + 63) // 64,
+        memory_budget_bytes, window,
+    )
+    sharded = ShardedTables(dag, tri, plan, spill_root=spill_root)
+    return ctx, dag, comms, sharded, True
+
+
+def sharded_count_cliques(
+    graph: CSRGraph,
+    k: int,
+    memory_budget_bytes: Optional[int] = None,
+    prepared: Optional[PreparedGraph] = None,
+    tracker: Tracker = NULL_TRACKER,
+    prune: bool = True,
+    workers: Optional[int] = None,
+    window: int = 2,
+    verify: bool = False,
+    spill_root: Optional[str] = None,
+) -> int:
+    """Count k-cliques with out-of-core sharded frontier tables.
+
+    Bit-identical to :func:`~repro.core.frontier.frontier_count_cliques`
+    on every graph both can handle, but only ``window`` shard blocks of
+    the tables are ever mapped at once — ``memory_budget_bytes`` bounds
+    the resident table footprint instead of the graph's O(m·γ) total.
+    ``workers > 1`` fans whole shards out over the weighted process
+    executor (each child streams its own window); ``verify=True``
+    re-proves the disjoint-union additivity oracle on every shard slice
+    (≈2× the counting work — a correctness harness, not a serving mode).
+    ``spill_root`` overrides the scratch-file location (tests point it
+    at a tmpdir to observe cleanup); passing it forces a private,
+    non-memoized table set even on a warm context.
+    """
+    n = graph.num_vertices
+    if k < 1:
+        raise ValueError(f"clique size must be >= 1, got {k}")
+    if k == 1:
+        return n
+    if k == 2:
+        return graph.num_edges
+    ctx, dag, comms, sharded, owned = _setup_sharded(
+        graph, k, memory_budget_bytes, prepared, tracker, window, spill_root
+    )
+    if k == 3:
+        return comms.num_triangles
+    metrics = tracker.metrics
+    assert sharded is not None
+    try:
+        eligible = np.flatnonzero(comms.sizes >= (k - 2))
+        plan = sharded.plan
+        if metrics is not None:
+            metrics.gauge("shard.count").set(plan.num_shards)
+        if eligible.size == 0:
+            return 0
+        bounds = _eligible_bounds(eligible, plan)
+        # Per-shard work estimate: the community-size sum of its eligible
+        # slice (Lemma 3.2's per-edge bound), via one prefix sum.
+        csum = np.concatenate(
+            [[0.0], np.cumsum(comms.sizes[eligible].astype(np.float64))]
+        )
+        seg_sizes = csum[bounds[1:]] - csum[bounds[:-1]]
+        if workers is not None and workers > 1:
+            from ..pram.executor import parallel_map_reduce
+
+            total = parallel_map_reduce(
+                _shard_worker,
+                plan.num_shards,
+                args=(k, prune, verify),
+                n_workers=workers,
+                state=(sharded, eligible, bounds),
+                initial=0,
+                tracker=tracker,
+                weights=seg_sizes + 1.0,
+            )
+            assert total is not None
+            return int(total)
+        total = 0
+        walls: List[float] = []
+        for shard in plan.shards:
+            lo, hi = int(bounds[shard.index]), int(bounds[shard.index + 1])
+            if lo == hi:
+                continue
+            t0 = time.perf_counter()
+            total += _count_shard(
+                sharded,
+                shard.index,
+                eligible[lo:hi] - shard.e0,
+                k - 2,
+                prune,
+                verify,
+                metrics=metrics,
+            )
+            walls.append(time.perf_counter() - t0)
+        if metrics is not None and walls:
+            mean = sum(walls) / len(walls)
+            if mean > 0:
+                metrics.gauge("shard.wall_imbalance").set_max(
+                    max(walls) / mean
+                )
+        return total
+    finally:
+        if owned:
+            sharded.close()
+
+
+def sharded_list_cliques(
+    graph: CSRGraph,
+    k: int,
+    memory_budget_bytes: Optional[int] = None,
+    prepared: Optional[PreparedGraph] = None,
+    tracker: Tracker = NULL_TRACKER,
+    window: int = 2,
+    spill_root: Optional[str] = None,
+) -> List[Tuple[int, ...]]:
+    """List k-cliques canonically, streaming table shards under a budget.
+
+    Output is byte-identical to
+    :func:`~repro.core.frontier.frontier_list_cliques` (sorted tuples in
+    lexicographic order). Only the *tables* are budgeted — the listing
+    itself is Ω(#cliques·k) and is returned in RAM either way.
+    """
+    if k < 1:
+        raise ValueError(f"clique size must be >= 1, got {k}")
+    if k == 1:
+        return [(v,) for v in range(graph.num_vertices)]
+    if k == 2:
+        us, vs = graph.edge_array()
+        return sorted(
+            (int(u), int(v)) if u < v else (int(v), int(u))
+            for u, v in zip(us, vs)
+        )
+    from .frontier import frontier_list_cliques
+
+    if k == 3:
+        # No tables are involved at k = 3; share the frontier path.
+        return frontier_list_cliques(graph, k, prepared=prepared, tracker=tracker)
+    ctx, dag, comms, sharded, owned = _setup_sharded(
+        graph, k, memory_budget_bytes, prepared, tracker, window, spill_root
+    )
+    metrics = tracker.metrics
+    assert sharded is not None
+    try:
+        eligible = np.flatnonzero(comms.sizes >= (k - 2))
+        plan = sharded.plan
+        if metrics is not None:
+            metrics.gauge("shard.count").set(plan.num_shards)
+        if eligible.size == 0:
+            return []
+        bounds = _eligible_bounds(eligible, plan)
+        us, vs = dag.edge_endpoints()
+        orig = dag.original_ids.astype(np.int64)
+        pieces: List[np.ndarray] = []
+        for shard in plan.shards:
+            lo, hi = int(bounds[shard.index]), int(bounds[shard.index + 1])
+            if lo == hi:
+                continue
+            eids = eligible[lo:hi]
+            tables = sharded.block(shard.index, metrics=metrics)
+            prefixes = np.stack(
+                [us[eids].astype(np.int64), vs[eids].astype(np.int64)],
+                axis=1,
+            )
+            local = eids - shard.e0
+            _, rows = _drive(
+                tables,
+                tables.base[local],
+                tables.rows_in[local],
+                k - 2,
+                prune=True,
+                prefixes=prefixes,
+                out_indices=dag.out_indices[shard.e0:shard.e1].astype(
+                    np.int64
+                ),
+                metrics=metrics,
+            )
+            assert rows is not None
+            if rows.shape[0]:
+                pieces.append(rows)
+        if not pieces:
+            return []
+        all_rows = np.concatenate(pieces, axis=0)
+        canonical = np.sort(orig[all_rows], axis=1)
+        return sorted(map(tuple, canonical.tolist()))
+    finally:
+        if owned:
+            sharded.close()

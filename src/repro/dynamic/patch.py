@@ -241,8 +241,10 @@ def patch_prepared(
                     )
                     report._note(f"frontier_tables/{variant}", "rebuilt")
 
-        # Global greedy structures cannot be localized: drop to lazy rebuild.
-        for kind in ("edge_order", "kernel"):
+        # Global greedy structures cannot be localized: drop to lazy
+        # rebuild. Sharded table blocks are keyed to the old DAG's edge
+        # rows, so a mutated snapshot must re-plan them too.
+        for kind in ("edge_order", "sharded_tables", "kernel"):
             for key in old.piece_keys(kind):
                 report._note(f"{kind}/{key}", "invalidated")
 

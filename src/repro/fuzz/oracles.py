@@ -43,6 +43,7 @@ from ..core.fast import fast_count_cliques
 from ..core.frontier import frontier_count_cliques, frontier_list_cliques
 from ..core.parallel import count_cliques_parallel
 from ..core.prepared import PreparedGraph
+from ..core.sharded import sharded_count_cliques, sharded_list_cliques
 from ..core.variants import run_variant
 from ..dynamic import DynamicGraph, random_trace
 from ..graphs.builder import complete_graph
@@ -104,10 +105,10 @@ def oracle_engines(
 
     The matrix is the fast-path/slow-path split where silent divergence
     bugs live: cold vs warm-prepared contexts, kernelized dispatch, the
-    packed-bitset kernel, and the independent kClist baseline — plus
-    brute force on small instances.
+    packed-bitset kernel, the out-of-core sharded streamer (unlimited
+    budget plus an rng-drawn tiny one), and the independent kClist
+    baseline — plus brute force on small instances.
     """
-    del rng  # fully deterministic
     counts: Dict[str, int] = {}
     counts["reference"] = _observed(
         "reference", graph, k, run_variant(graph, k, "best-work", Tracker()).count
@@ -130,6 +131,20 @@ def oracle_engines(
         count_cliques(graph, k, engine="frontier", kernelize=True).count,
     )
     counts["auto"] = _observed("auto", graph, k, count_cliques(graph, k).count)
+    counts["sharded"] = _observed(
+        "sharded", graph, k, sharded_count_cliques(graph, k)
+    )
+    counts["sharded:budgeted"] = _observed(
+        "sharded:budgeted",
+        graph,
+        k,
+        sharded_count_cliques(
+            graph,
+            k,
+            memory_budget_bytes=int(rng.integers(1, 4096)),
+            verify=True,
+        ),
+    )
     counts["kclist"] = _observed("kclist", graph, k, kclist_count(graph, k).count)
     if graph.num_vertices <= BRUTE_FORCE_LIMIT:
         counts["brute-force"] = brute_force_count(graph, k)
@@ -171,6 +186,13 @@ def oracle_listings(
             f"reference and frontier listings differ for k={k}: "
             f"{len(ref)} vs {len(fro)} cliques "
             f"(first diff: {_first_diff(ref, fro)})"
+        )
+    sha = sharded_list_cliques(graph, k, memory_budget_bytes=1)
+    if ref != sha:
+        violations.append(
+            f"reference and sharded (1-byte budget) listings differ for "
+            f"k={k}: {len(ref)} vs {len(sha)} cliques "
+            f"(first diff: {_first_diff(ref, sha)})"
         )
     if ref != sorted(tuple(sorted(c)) for c in ref):
         violations.append(f"reference listing for k={k} is not canonical")

@@ -33,7 +33,9 @@ __all__ = [
 ]
 
 SCHEMA = "repro/bench-record"
-SCHEMA_VERSION = 1
+# Version 2 added the optional ``peak_rss_kb`` entry field; version-1
+# baselines (no such field) still load and compare.
+SCHEMA_VERSION = 2
 
 # Required per-entry numeric fields and their types. ``count`` is the
 # correctness anchor: two records with differing counts for one cell are
@@ -59,6 +61,7 @@ _ENTRY_FIELDS: Dict[str, type] = {
 # here) — the comparison gate refuses to diff cells whose engines differ.
 _OPTIONAL_ENTRY_FIELDS: Dict[str, type] = {
     "engine": str,
+    "peak_rss_kb": int,
 }
 
 
@@ -91,6 +94,7 @@ def make_record(
                 "search_work": float(m.search_work),
                 "peak_candidate": int(getattr(m, "peak_candidate", 0)),
                 "engine": str(getattr(m, "engine", "") or m.algorithm),
+                "peak_rss_kb": int(getattr(m, "peak_rss_kb", 0)),
             }
         )
     record: Dict[str, Any] = {

@@ -27,7 +27,14 @@ the policy.
   *queues* (FIFO via an asyncio condition) until capacity frees;
   ``queue_limit`` bounds the line, rejecting with ``queue-full`` beyond
   it so a burst degrades crisply instead of accumulating unbounded
-  waiters.
+  waiters;
+* **resident memory** (``max_resident_bytes``): predicted peak frontier-
+  table bytes, priced from ``16·m·ceil(s/64)`` and capped at the budget
+  for the ops the out-of-core sharded engine can stream
+  (:mod:`repro.core.sharded`). A query whose residency cannot be
+  streamed under the budget is rejected with ``over-memory``; admitted
+  queries charge their residency against the shared envelope exactly
+  like work.
 
 Coalesced queries (joining an identical in-flight computation) never
 reach admission: they add no work, so only flight leaders are priced.
@@ -45,6 +52,7 @@ from typing import Any, Iterator, Optional
 from contextlib import asynccontextmanager
 
 from ..analysis.bounds import BoundInputs, work_best
+from ..core.sharded import predict_table_bytes
 from ..pram.cost import Cost
 from .protocol import ServiceError
 
@@ -57,11 +65,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class QueryEstimate:
-    """Predicted cost of one query, with the formula that produced it."""
+    """Predicted cost of one query, with the formula that produced it.
+
+    ``table_bytes`` is the full in-RAM frontier-table footprint the
+    query would materialize (``16·m·ceil(s/64)`` — out-degrees under a
+    degeneracy order are bounded by ``s``, so the prediction needs only
+    registry statistics); ``resident_bytes`` is what will actually stay
+    mapped at peak, i.e. ``table_bytes`` capped at the serving memory
+    budget for the ops the out-of-core sharded engine can stream.
+    """
 
     work: float
     depth: float
     formula: str
+    table_bytes: float = 0.0
+    resident_bytes: float = 0.0
 
     @property
     def cost(self) -> Cost:
@@ -72,6 +90,8 @@ class QueryEstimate:
             "work": self.work,
             "depth": self.depth,
             "formula": self.formula,
+            "table_bytes": self.table_bytes,
+            "resident_bytes": self.resident_bytes,
         }
 
 
@@ -89,6 +109,7 @@ def estimate_query(
     k: Optional[int] = None,
     k_max: Optional[int] = None,
     warm: bool = False,
+    memory_budget_bytes: Optional[int] = None,
 ) -> QueryEstimate:
     """Price one query op from graph statistics, before any engine runs.
 
@@ -106,6 +127,15 @@ def estimate_query(
       case.
     * ``spectrum``: the sum of per-k search bounds over ``3 ≤ k ≤
       min(k_max, s + 1)`` on one shared preprocessing pass.
+
+    Memory is priced alongside work: ``table_bytes`` is the full
+    frontier-table footprint a k ≥ 4 search would materialize, and
+    ``resident_bytes`` caps it at ``memory_budget_bytes`` for ``count``
+    and ``list`` — the ops the out-of-core sharded engine streams under
+    the budget. The spectrum sweep holds full tables across its k's, so
+    its residency is *not* capped: on a graph whose tables dwarf the
+    budget, admission rejects the spectrum (``over-memory``) while the
+    shardable ops still serve.
     """
     s = max(int(degeneracy), 0)
     branch = s if gamma is None else min(max(int(gamma), 0), s)
@@ -119,10 +149,13 @@ def estimate_query(
         search = float(n + m)
         for kk in range(3, top + 1):
             search += _search_work(n, m, kk, branch)
+        tables = float(predict_table_bytes(m, s)) if top >= 4 else 0.0
         return QueryEstimate(
             work=prep + search,
             depth=depth,
             formula="Σ_k k·m·((γ+3−k)/2)^{k−2} + m·s",
+            table_bytes=tables,
+            resident_bytes=tables,
         )
 
     if k is None:
@@ -140,10 +173,28 @@ def estimate_query(
             formula="n + m (k > s + 1: no witness possible)",
         )
     search = _search_work(n, m, k, branch)
+    # `find` never builds the frontier tables (early-exit recursion over
+    # communities); only the table-backed ops carry a memory price.
+    tables = (
+        float(predict_table_bytes(m, s))
+        if k >= 4 and op in ("count", "list")
+        else 0.0
+    )
+    resident = tables
+    if (
+        memory_budget_bytes is not None
+        and op in ("count", "list")
+        and tables > memory_budget_bytes
+    ):
+        # The sharded engine streams these ops under the budget: at
+        # peak, only the windowed blocks are mapped.
+        resident = float(memory_budget_bytes)
     return QueryEstimate(
         work=prep + search,
         depth=depth,
         formula="k·m·((γ+3−k)/2)^{k−2} + m·s",
+        table_bytes=tables,
+        resident_bytes=resident,
     )
 
 
@@ -161,6 +212,7 @@ class AdmissionController:
         max_inflight_work: Optional[float] = None,
         queue_limit: int = 64,
         metrics: Any = None,
+        max_resident_bytes: Optional[int] = None,
     ) -> None:
         if max_query_work is not None and max_query_work <= 0:
             raise ValueError("max_query_work must be positive (or None)")
@@ -168,10 +220,14 @@ class AdmissionController:
             raise ValueError("max_inflight_work must be positive (or None)")
         if queue_limit < 0:
             raise ValueError("queue_limit must be non-negative")
+        if max_resident_bytes is not None and max_resident_bytes <= 0:
+            raise ValueError("max_resident_bytes must be positive (or None)")
         self.max_query_work = max_query_work
         self.max_inflight_work = max_inflight_work
+        self.max_resident_bytes = max_resident_bytes
         self.queue_limit = queue_limit
         self.inflight_work = 0.0
+        self.inflight_bytes = 0.0
         self.inflight_queries = 0
         self.queued = 0
         self._metrics = metrics
@@ -190,16 +246,27 @@ class AdmissionController:
             self._metrics.gauge("service.inflight_work").set(
                 self.inflight_work
             )
+            self._metrics.gauge("service.inflight_bytes").set(
+                self.inflight_bytes
+            )
 
-    def _fits(self, work: float) -> bool:
-        if self.max_inflight_work is None:
-            return True
-        # An empty pool always admits: a single query larger than the
-        # global budget must not deadlock (the per-query budget is the
+    def _fits(self, work: float, resident: float) -> bool:
+        # An empty pool always admits: a single query larger than a
+        # global budget must not deadlock (the per-query checks are the
         # knob for rejecting it outright).
         if self.inflight_queries == 0:
             return True
-        return self.inflight_work + work <= self.max_inflight_work
+        if (
+            self.max_inflight_work is not None
+            and self.inflight_work + work > self.max_inflight_work
+        ):
+            return False
+        if (
+            self.max_resident_bytes is not None
+            and self.inflight_bytes + resident > self.max_resident_bytes
+        ):
+            return False
+        return True
 
     @asynccontextmanager
     async def admit(self, estimate: QueryEstimate, label: str) -> Iterator[None]:
@@ -210,6 +277,7 @@ class AdmissionController:
         estimate charged against the in-flight budget.
         """
         work = float(estimate.work)
+        resident = float(estimate.resident_bytes)
         if self.max_query_work is not None and work > self.max_query_work:
             if self._metrics is not None:
                 self._metrics.counter("service.rejected").inc()
@@ -224,9 +292,29 @@ class AdmissionController:
                     "formula": estimate.formula,
                 },
             )
+        if (
+            self.max_resident_bytes is not None
+            and resident > self.max_resident_bytes
+        ):
+            # Predicted peak table residency the sharded engine cannot
+            # stream down (a spectrum sweep, or a budget set below one
+            # window): admitting it would blow the resident envelope no
+            # matter how empty the pool is.
+            if self._metrics is not None:
+                self._metrics.counter("service.rejected").inc()
+            raise ServiceError(
+                "over-memory",
+                f"{label}: predicted resident table bytes {resident:.4g} "
+                f"exceed the memory budget {self.max_resident_bytes}",
+                {
+                    "predicted_table_bytes": estimate.table_bytes,
+                    "predicted_resident_bytes": resident,
+                    "max_resident_bytes": self.max_resident_bytes,
+                },
+            )
         cond = self._condition()
         async with cond:
-            if not self._fits(work):
+            if not self._fits(work, resident):
                 if self.queued >= self.queue_limit:
                     if self._metrics is not None:
                         self._metrics.counter("service.rejected").inc()
@@ -244,11 +332,12 @@ class AdmissionController:
                     self._metrics.counter("service.queued").inc()
                 self._gauges()
                 try:
-                    await cond.wait_for(lambda: self._fits(work))
+                    await cond.wait_for(lambda: self._fits(work, resident))
                 finally:
                     self.queued -= 1
                     self._gauges()
             self.inflight_work += work
+            self.inflight_bytes += resident
             self.inflight_queries += 1
             if self._metrics is not None:
                 self._metrics.counter("service.admitted").inc()
@@ -258,9 +347,11 @@ class AdmissionController:
         finally:
             async with cond:
                 self.inflight_work -= work
+                self.inflight_bytes -= resident
                 self.inflight_queries -= 1
                 if self.inflight_queries == 0:
                     # Guard float drift: an idle pool owes exactly zero.
                     self.inflight_work = 0.0
+                    self.inflight_bytes = 0.0
                 self._gauges()
                 cond.notify_all()

@@ -98,6 +98,7 @@ def _run_count(
     eps: float,
     cache: PreparedCache,
     registry: Optional[MetricsRegistry],
+    memory_budget_bytes: Optional[int] = None,
 ) -> Dict[str, Any]:
     tracker = _query_tracker(registry)
     ctx = cache.get(graph, eps=eps, tracker=tracker)
@@ -112,6 +113,7 @@ def _run_count(
         engine=engine,
         prepared=ctx,
         kernelize=kernelize,
+        memory_budget_bytes=memory_budget_bytes,
     )
     return {
         "count": int(result.count),
@@ -132,6 +134,7 @@ def _run_list(
     eps: float,
     cache: PreparedCache,
     registry: Optional[MetricsRegistry],
+    memory_budget_bytes: Optional[int] = None,
 ) -> Dict[str, Any]:
     tracker = _query_tracker(registry)
     ctx = cache.get(graph, eps=eps, tracker=tracker)
@@ -145,6 +148,7 @@ def _run_list(
         prepared=ctx,
         engine=engine,
         kernelize=kernelize,
+        memory_budget_bytes=memory_budget_bytes,
     )
     return {
         "count": len(listed),
@@ -213,8 +217,10 @@ class CliqueService:
         cache_size: int = 64,
         cache: Optional[PreparedCache] = None,
         metrics: Optional[MetricsRegistry] = None,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
         self.eps = float(eps)
+        self.memory_budget_bytes = memory_budget_bytes
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = cache if cache is not None else PreparedCache(cache_size)
         self.registry = GraphRegistry(self.cache, eps=self.eps)
@@ -223,6 +229,7 @@ class CliqueService:
             max_inflight_work=max_inflight_work,
             queue_limit=queue_limit,
             metrics=self.metrics,
+            max_resident_bytes=memory_budget_bytes,
         )
         self._workers = workers
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -371,6 +378,7 @@ class CliqueService:
             k=k,
             k_max=k_max,
             warm=self._is_warm(graph),
+            memory_budget_bytes=self.memory_budget_bytes,
         )
 
     # -- endpoints ---------------------------------------------------------
@@ -442,6 +450,7 @@ class CliqueService:
             _run_count,
             graph, k, variant, engine, kernelize, prune,
             self.eps, self.cache, self.metrics,
+            memory_budget_bytes=self.memory_budget_bytes,
         )
         label = f"count k={k} graph={entry.name!r}"
         result = await self._coalesced(
@@ -460,7 +469,7 @@ class CliqueService:
         )
         engine = field(
             request, "engine", str, default="reference",
-            choices=("reference", "frontier"),
+            choices=("reference", "frontier", "sharded"),
         )
         kernelize = field(request, "kernelize", bool, default=False)
         limit = field(request, "limit", int)
@@ -474,6 +483,7 @@ class CliqueService:
             _run_list,
             graph, k, variant, engine, kernelize,
             self.eps, self.cache, self.metrics,
+            memory_budget_bytes=self.memory_budget_bytes,
         )
         label = f"list k={k} graph={entry.name!r}"
         result = await self._coalesced(
@@ -571,8 +581,10 @@ class CliqueService:
             "admission": {
                 "max_query_work": self.admission.max_query_work,
                 "max_inflight_work": self.admission.max_inflight_work,
+                "max_resident_bytes": self.admission.max_resident_bytes,
                 "queue_limit": self.admission.queue_limit,
                 "inflight_work": self.admission.inflight_work,
+                "inflight_bytes": self.admission.inflight_bytes,
                 "inflight_queries": self.admission.inflight_queries,
                 "queued": self.admission.queued,
             },

@@ -54,6 +54,7 @@ ERROR_CODES = (
     "unknown-graph",   # graph name not registered
     "graph-exists",    # register() with a taken name
     "over-budget",     # admission control: predicted work > per-query budget
+    "over-memory",     # admission control: predicted resident bytes > budget
     "queue-full",      # admission control: global queue at capacity
     "mutation-error",  # a mutation batch disagreed with the edge set
     "internal",        # engine raised; message carries the repr

@@ -4,7 +4,9 @@ A reproduction's strongest evidence is agreement: this module runs every
 counting engine in the repository (the six Table-1 variants, the
 triangle-growing extension, the bitset kernel, the level-synchronous
 frontier engine — cold, warm, kernelized, and sliced across the process
-executor — the process-parallel wrapper, and the three baselines)
+executor — the out-of-core sharded streamer at unlimited and
+adversarially tiny budgets, the process-parallel wrapper, and the three
+baselines)
 against each other — and against the brute-force oracle on small
 instances — over randomized graphs, and reports the first disagreement.
 Exposed as ``python -m repro selfcheck``.
@@ -28,6 +30,7 @@ from .core.frontier import frontier_count_cliques
 from .core.motifs import count_cliques_triangle_growing
 from .core.parallel import count_cliques_parallel
 from .core.prepared import PreparedGraph
+from .core.sharded import sharded_count_cliques
 from .core.variants import VARIANTS, run_variant
 from .graphs.csr import CSRGraph
 from .graphs.generators import gnm_random_graph, plant_cliques
@@ -134,6 +137,13 @@ def _engines() -> Dict[str, object]:
             # to in the k >= 4 default regime.
             "engine:auto": lambda g, k: count_cliques(g, k).count,
             "engine:auto-frontier": _auto_frontier_count,
+            # Out-of-core twins: unlimited budget (single shard — the
+            # identity case) and a 1-byte budget (one vertex per shard,
+            # maximal slicing) must both match every in-RAM engine.
+            "sharded": lambda g, k: sharded_count_cliques(g, k),
+            "sharded:tiny-budget": lambda g, k: sharded_count_cliques(
+                g, k, memory_budget_bytes=1, verify=True
+            ),
         }
     )
     return table

@@ -384,6 +384,7 @@ class TestCacheLifetime:
             "invalidations": 1,
             "size": 1,
             "maxsize": cache.maxsize,
+            "approx_bytes": cache.total_bytes(),
         }
 
     def test_explicit_invalidate(self):
