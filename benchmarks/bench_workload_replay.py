@@ -1,0 +1,115 @@
+"""W1 — workload replay: the serving stack under realistic traffic.
+
+The per-query benchmarks measure one engine run; serving cost is set by
+what the layers do *between* queries — warm prepared contexts, request
+coalescing, admission pricing, mutation invalidation. These cells fire
+seeded, Zipf-skewed traces at the in-process service path and report
+warm-hit rate, throughput and tail latency per graph regime of the
+model zoo, the traffic-shaped counterpart of the paper's Table 2 sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.workload import WorkloadSpec, generate_trace, replay_trace
+from repro.obs import MetricsRegistry
+
+# One read-mostly trace per zoo regime plus one mutation-heavy mix: the
+# regimes where engine rankings (and therefore serving cost) invert.
+TRACES = {
+    "zoo-read-heavy": WorkloadSpec(
+        graphs=("sbm-community", "ws-smallworld", "lattice-mesh"),
+        queries=48,
+        ks=(3, 4),
+        zipf_a=1.2,
+        scale=0.5,
+        seed=11,
+    ),
+    "zoo-mutating": WorkloadSpec(
+        graphs=("sbm-community", "config-powerlaw"),
+        queries=32,
+        ks=(3, 4),
+        zipf_a=0.8,
+        mutation_every=4,
+        mutation_batch=2,
+        scale=0.5,
+        seed=12,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_replay_serving_aggregates(benchmark, name, collector):
+    spec = TRACES[name]
+    trace = generate_trace(spec)
+
+    def run():
+        return replay_trace(
+            trace,
+            spec.graphs,
+            name=name,
+            seed=spec.seed,
+            scale=spec.scale,
+            metrics=MetricsRegistry(),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    collector.add_text(
+        f"workload-replay/{name}",
+        format_table(
+            ["queries", "mutations", "errors", "warm rate", "coalesced",
+             "qps", "p50 ms", "p95 ms", "p99 ms", "checksum"],
+            [[
+                result.queries,
+                result.mutations,
+                result.errors,
+                f"{result.warm_hit_rate:.3f}",
+                result.coalesced,
+                f"{result.throughput_qps:.1f}",
+                f"{result.p50_ms:.2f}",
+                f"{result.p95_ms:.2f}",
+                f"{result.p99_ms:.2f}",
+                result.count_checksum,
+            ]],
+        ),
+    )
+    assert result.errors == 0
+    assert result.queries == sum(e["type"] == "query" for e in trace)
+    # Registration pre-builds the order pieces, so a sequential replay
+    # against a fresh daemon serves every admitted query warm.
+    assert result.warm_hit_rate == 1.0
+
+
+def test_replay_concurrency_preserves_checksum(benchmark, collector):
+    """Windowed concurrent replay may reorder work but never results."""
+    spec = TRACES["zoo-read-heavy"]
+    trace = generate_trace(spec)
+
+    def run():
+        rows = []
+        for conc in (1, 4):
+            res = replay_trace(
+                trace,
+                spec.graphs,
+                name=f"conc{conc}",
+                seed=spec.seed,
+                scale=spec.scale,
+                concurrency=conc,
+                metrics=MetricsRegistry(),
+            )
+            rows.append((conc, res.count_checksum, res.coalesced,
+                         res.throughput_qps))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    collector.add_text(
+        "workload-replay/concurrency",
+        format_table(
+            ["concurrency", "checksum", "coalesced", "qps"],
+            [[c, ck, co, f"{q:.1f}"] for c, ck, co, q in rows],
+        ),
+    )
+    checksums = {ck for _, ck, _, _ in rows}
+    assert len(checksums) == 1

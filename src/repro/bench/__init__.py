@@ -1,7 +1,14 @@
 """Benchmark harness: Table-2 stand-in datasets, the experiment runner,
 and figure/table renderers."""
 
-from .datasets import DATASETS, TABLE2_PAPER, dataset_names, load_dataset
+from .datasets import (
+    DATASETS,
+    TABLE2_PAPER,
+    ZOO_PRESETS,
+    dataset_names,
+    load_dataset,
+    zoo_names,
+)
 from .harness import ALGORITHMS, Measurement, run_experiment, sweep
 from .reporting import (
     figure_series,
@@ -15,8 +22,10 @@ from .reporting import (
 __all__ = [
     "DATASETS",
     "TABLE2_PAPER",
+    "ZOO_PRESETS",
     "dataset_names",
     "load_dataset",
+    "zoo_names",
     "ALGORITHMS",
     "Measurement",
     "run_experiment",

@@ -1,0 +1,546 @@
+"""Seeded workload traces and the service replay driver.
+
+The per-query benchmarks measure one engine run at a time; real serving
+cost is dominated by what happens *between* queries — cache warmth,
+single-flight coalescing, admission pricing, mutation invalidation. This
+module makes that measurable and replayable:
+
+* :class:`WorkloadSpec` — a frozen, JSON-round-trippable description of
+  a traffic mix: which graphs, which ``k`` values, the op mix, the
+  Zipf skew of query popularity, and an optional mutation cadence.
+* :func:`generate_trace` — expands a spec into an explicit event list.
+  Same spec (hence same seed) ⇒ byte-identical trace. Mutation events
+  are generated against a simulated per-graph edge set, so every insert
+  targets an absent pair and every delete a present edge — the strict
+  :class:`~repro.dynamic.DynamicGraph` contract holds by construction.
+* :func:`replay_trace` / :func:`run_workload` — fire a trace at a
+  :class:`~repro.service.daemon.CliqueService` through the in-process
+  :class:`~repro.service.daemon.ServiceClient` path (the same ``handle``
+  entry point the TCP transport uses), recording per-event latency,
+  warmth and coalescing, and aggregating warm-hit rate, throughput and
+  p50/p95/p99 tail latency into a :class:`ReplayResult`.
+
+The result's :meth:`ReplayResult.to_trace_record` row is what
+``BENCH_*.json`` (schema v3) embeds under ``traces`` and what the
+``repro bench --compare`` trace-SLO gate diffs against a baseline. The
+``count_checksum`` field chains a CRC32 over every query's semantic
+result (op, graph, k, count/witness/spectrum) in trace order: two
+replays of one seed must match it exactly, and the comparison gate
+treats a checksum mismatch as fatal, like a count mismatch.
+
+Determinism note: at ``concurrency=1`` (the default) the event order,
+the warm/cold sequence and the checksum are all deterministic for a
+fresh daemon. Higher concurrency keeps the checksum deterministic (the
+result set is order-independent) but warm/coalesced attribution becomes
+scheduling-dependent — the SLO gate therefore defaults to hit-rate and
+error tolerances, not exact warm sequences.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import MetricsRegistry
+
+__all__ = [
+    "WorkloadSpec",
+    "ReplayResult",
+    "generate_trace",
+    "replay_trace",
+    "replay_trace_async",
+    "run_workload",
+    "trace_checksum",
+]
+
+_QUERY_OPS = ("count", "find", "spectrum")
+
+
+def _as_mix(mix: Any) -> Tuple[Tuple[str, float], ...]:
+    """Normalize an op-mix mapping/sequence into a canonical tuple."""
+    if isinstance(mix, dict):
+        items = list(mix.items())
+    else:
+        items = [(str(op), float(w)) for op, w in mix]
+    out: List[Tuple[str, float]] = []
+    for op, w in items:
+        if op not in _QUERY_OPS:
+            raise ValueError(
+                f"unknown query op {op!r} in mix (known: {_QUERY_OPS})"
+            )
+        w = float(w)
+        if w < 0:
+            raise ValueError(f"mix weight for {op!r} must be >= 0, got {w}")
+        if w > 0:
+            out.append((op, w))
+    if not out:
+        raise ValueError("mix must give positive weight to at least one op")
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One replayable traffic description (all fields JSON-serializable).
+
+    ``zipf_a`` skews template popularity: template ranks are a seeded
+    permutation of all (op, graph, k) combinations and template ``r``
+    draws with probability ∝ ``rank_r**-zipf_a`` (0 = uniform).
+    ``mutation_every`` inserts one mutation event after every that many
+    query events (0 disables mutations).
+    """
+
+    graphs: Tuple[str, ...]
+    queries: int = 64
+    ks: Tuple[int, ...] = (4, 5)
+    mix: Tuple[Tuple[str, float], ...] = (
+        ("count", 0.8),
+        ("find", 0.1),
+        ("spectrum", 0.1),
+    )
+    zipf_a: float = 1.1
+    mutation_every: int = 0
+    mutation_batch: int = 2
+    scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "graphs", tuple(str(g) for g in self.graphs))
+        object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
+        object.__setattr__(self, "mix", _as_mix(self.mix))
+        if not self.graphs:
+            raise ValueError("workload needs at least one graph")
+        if self.queries < 1:
+            raise ValueError("queries must be >= 1")
+        if not self.ks or any(k < 1 for k in self.ks):
+            raise ValueError("ks must be a non-empty tuple of k >= 1")
+        if self.zipf_a < 0:
+            raise ValueError("zipf_a must be >= 0")
+        if self.mutation_every < 0:
+            raise ValueError("mutation_every must be >= 0")
+        if self.mutation_batch < 1:
+            raise ValueError("mutation_batch must be >= 1")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "graphs": list(self.graphs),
+            "queries": self.queries,
+            "ks": list(self.ks),
+            "mix": {op: w for op, w in self.mix},
+            "zipf_a": self.zipf_a,
+            "mutation_every": self.mutation_every,
+            "mutation_batch": self.mutation_batch,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "WorkloadSpec":
+        return cls(
+            graphs=tuple(doc["graphs"]),
+            queries=int(doc.get("queries", 64)),
+            ks=tuple(doc.get("ks", (4, 5))),
+            mix=doc.get("mix", {"count": 0.8, "find": 0.1, "spectrum": 0.1}),
+            zipf_a=float(doc.get("zipf_a", 1.1)),
+            mutation_every=int(doc.get("mutation_every", 0)),
+            mutation_batch=int(doc.get("mutation_batch", 2)),
+            scale=float(doc.get("scale", 1.0)),
+            seed=int(doc.get("seed", 0)),
+        )
+
+
+# -- trace generation -------------------------------------------------------
+
+
+class _EdgeSim:
+    """Simulated edge set of one graph, mirroring DynamicGraph strictness.
+
+    Tracks the evolving edge set so generated mutations are always
+    legal: inserts target absent pairs, deletes target present edges,
+    and no batch contains duplicates.
+    """
+
+    def __init__(self, graph: Any) -> None:
+        us, vs = graph.edge_array()
+        self.n = int(graph.num_vertices)
+        self.edges = {(int(u), int(v)) for u, v in zip(us, vs)}
+
+    def sample_delete(
+        self, rng: np.random.Generator, batch: int
+    ) -> List[List[int]]:
+        pool = sorted(self.edges)
+        take = min(batch, len(pool))
+        if take == 0:
+            return []
+        idx = rng.choice(len(pool), size=take, replace=False)
+        chosen = [pool[int(i)] for i in sorted(int(i) for i in idx)]
+        for e in chosen:
+            self.edges.discard(e)
+        return [[u, v] for u, v in chosen]
+
+    def sample_insert(
+        self, rng: np.random.Generator, batch: int
+    ) -> List[List[int]]:
+        out: List[List[int]] = []
+        picked = set()
+        attempts = 0
+        while len(out) < batch and attempts < 64 * batch:
+            attempts += 1
+            u = int(rng.integers(0, self.n))
+            v = int(rng.integers(0, self.n))
+            if u == v:
+                continue
+            e = (min(u, v), max(u, v))
+            if e in self.edges or e in picked:
+                continue
+            picked.add(e)
+            out.append([e[0], e[1]])
+        self.edges.update(picked)
+        return out
+
+
+def _load_for_spec(name: str, scale: float) -> Any:
+    from .datasets import DATASETS, load_dataset
+
+    if name in DATASETS:
+        return load_dataset(name, scale=scale)
+    from ..service.registry import load_graph_spec
+
+    return load_graph_spec(name)
+
+
+def generate_trace(spec: WorkloadSpec) -> List[Dict[str, Any]]:
+    """Expand a spec into an explicit, replayable event list.
+
+    Events are plain JSON-able dicts: ``{"type": "query", "op": ...,
+    "graph": ..., "k": ...}`` (``k_max`` for spectrum) or ``{"type":
+    "mutate", "graph": ..., "mutation": "insert"|"delete", "batch":
+    [[u, v], ...]}``. Same spec ⇒ identical list.
+    """
+    rng = np.random.default_rng(spec.seed)
+
+    # Query templates: every (op, graph, k) combination the mix allows.
+    templates: List[Dict[str, Any]] = []
+    weights: List[float] = []
+    mix = dict(spec.mix)
+    k_max = max(spec.ks)
+    for graph in spec.graphs:
+        for op, w in spec.mix:
+            if op == "spectrum":
+                templates.append(
+                    {"type": "query", "op": op, "graph": graph, "k_max": k_max}
+                )
+                weights.append(w)
+            else:
+                for k in spec.ks:
+                    templates.append(
+                        {"type": "query", "op": op, "graph": graph, "k": k}
+                    )
+                    weights.append(w / len(spec.ks))
+    del mix
+
+    # Zipf-skew the template popularity: a seeded permutation assigns
+    # each template its popularity rank, then weight ∝ rank**-a. This
+    # keeps the draw bounded and exactly replayable (numpy's rng.zipf
+    # samples an unbounded support — useless for joining to a fixed
+    # template list).
+    ranks = rng.permutation(len(templates)) + 1
+    probs = np.asarray(weights) * ranks.astype(np.float64) ** -spec.zipf_a
+    probs /= probs.sum()
+
+    sims: Dict[str, _EdgeSim] = {}
+    if spec.mutation_every:
+        for graph in spec.graphs:
+            sims[graph] = _EdgeSim(_load_for_spec(graph, spec.scale))
+
+    trace: List[Dict[str, Any]] = []
+    draws = rng.choice(len(templates), size=spec.queries, p=probs)
+    for i, t in enumerate(int(d) for d in draws):
+        trace.append(dict(templates[t]))
+        if spec.mutation_every and (i + 1) % spec.mutation_every == 0:
+            graph = spec.graphs[int(rng.integers(0, len(spec.graphs)))]
+            sim = sims[graph]
+            mutation = "delete" if rng.random() < 0.5 else "insert"
+            if mutation == "delete":
+                batch = sim.sample_delete(rng, spec.mutation_batch)
+            else:
+                batch = sim.sample_insert(rng, spec.mutation_batch)
+            if batch:
+                trace.append(
+                    {
+                        "type": "mutate",
+                        "graph": graph,
+                        "mutation": mutation,
+                        "batch": batch,
+                    }
+                )
+    return trace
+
+
+def trace_checksum(outcomes: Sequence[Tuple[Any, ...]]) -> int:
+    """CRC32 chained over semantic query outcomes, in trace order."""
+    ck = 0
+    for outcome in outcomes:
+        ck = zlib.crc32(json.dumps(outcome, sort_keys=True).encode(), ck)
+    return ck
+
+
+# -- replay -----------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """Aggregates of one replayed trace plus the per-event rows."""
+
+    name: str
+    seed: int
+    queries: int = 0
+    mutations: int = 0
+    errors: int = 0
+    warm_hits: int = 0
+    coalesced: int = 0
+    wall_s: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    count_checksum: int = 0
+    concurrency: int = 1
+    graphs: Tuple[str, ...] = ()
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def warm_hit_rate(self) -> float:
+        ok = self.queries - self.errors
+        return self.warm_hits / ok if ok else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.queries / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_trace_record(self) -> Dict[str, Any]:
+        """The ``traces[]`` row for BENCH records (schema v3)."""
+        return {
+            "name": self.name,
+            "seed": int(self.seed),
+            "queries": int(self.queries),
+            "mutations": int(self.mutations),
+            "errors": int(self.errors),
+            "warm_hits": int(self.warm_hits),
+            "warm_hit_rate": float(self.warm_hit_rate),
+            "coalesced": int(self.coalesced),
+            "throughput_qps": float(self.throughput_qps),
+            "p50_ms": float(self.p50_ms),
+            "p95_ms": float(self.p95_ms),
+            "p99_ms": float(self.p99_ms),
+            "wall_s": float(self.wall_s),
+            "count_checksum": int(self.count_checksum),
+            "concurrency": int(self.concurrency),
+            "graphs": list(self.graphs),
+        }
+
+
+def _percentile(sorted_ms: List[float], q: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    idx = min(len(sorted_ms) - 1, int(q * len(sorted_ms)))
+    return sorted_ms[idx]
+
+
+def _outcome(event: Dict[str, Any], result: Dict[str, Any]) -> Tuple[Any, ...]:
+    """The semantic, order-independent payload a query contributes to
+    the checksum (counts/witness existence — never timings)."""
+    op = event["op"]
+    if op == "count":
+        return (op, event["graph"], event["k"], int(result["count"]))
+    if op == "find":
+        return (op, event["graph"], event["k"], bool(result["found"]))
+    return (
+        op,
+        event["graph"],
+        event.get("k_max"),
+        tuple(sorted((k, int(c)) for k, c in result["spectrum"].items())),
+    )
+
+
+async def replay_trace_async(
+    trace: Sequence[Dict[str, Any]],
+    graphs: Sequence[str],
+    *,
+    name: str = "workload",
+    seed: int = 0,
+    scale: float = 1.0,
+    concurrency: int = 1,
+    service: Optional[Any] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    **service_kwargs: Any,
+) -> ReplayResult:
+    """Fire ``trace`` at a service and aggregate serving metrics.
+
+    When ``service`` is None a fresh in-process
+    :class:`~repro.service.daemon.CliqueService` is built (cold cache —
+    the warm-hit sequence then depends only on the trace) and the named
+    ``graphs`` are registered at ``scale``. ``concurrency`` > 1 replays
+    query events in windows of that size via ``asyncio.gather``;
+    mutation events are always barriers.
+    """
+    from ..service.daemon import CliqueService, ServiceClient
+    from ..service.protocol import ServiceError
+
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    own_service = service is None
+    if own_service:
+        service = CliqueService(metrics=metrics, **service_kwargs)
+        for graph_name in graphs:
+            service.registry.register(
+                graph_name, graph=_load_for_spec(graph_name, scale)
+            )
+    client = ServiceClient(service)
+    registry = metrics if metrics is not None else service.metrics
+    n_queries = registry.counter("replay.queries")
+    n_mutations = registry.counter("replay.mutations")
+    n_errors = registry.counter("replay.errors")
+    n_warm = registry.counter("replay.warm_hits")
+    n_coalesced = registry.counter("replay.coalesced")
+    latency_hist = registry.histogram("replay.latency_ms")
+
+    result = ReplayResult(
+        name=name, seed=seed, concurrency=concurrency,
+        graphs=tuple(graphs),
+    )
+    outcomes: List[Optional[Tuple[Any, ...]]] = [None] * len(trace)
+    latencies: List[float] = []
+
+    async def fire(index: int, event: Dict[str, Any]) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "index": index,
+            "type": event["type"],
+            "graph": event["graph"],
+            "ok": True,
+        }
+        t0 = time.perf_counter()
+        try:
+            if event["type"] == "mutate":
+                await client.mutate(
+                    event["graph"], event["mutation"], event["batch"]
+                )
+                row["mutation"] = event["mutation"]
+            else:
+                fields = {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("type", "op", "graph")
+                }
+                response = await client.request(
+                    event["op"], graph=event["graph"], **fields
+                )
+                row["op"] = event["op"]
+                row["warm"] = bool(response.get("warm", False))
+                row["coalesced"] = bool(response.get("coalesced", False))
+                outcomes[index] = _outcome(event, response)
+        except ServiceError as exc:
+            row["ok"] = False
+            row["error"] = exc.code
+        row["latency_ms"] = (time.perf_counter() - t0) * 1000.0
+        return row
+
+    async def account(row: Dict[str, Any]) -> None:
+        result.rows.append(row)
+        if row["type"] == "mutate":
+            result.mutations += 1
+            n_mutations.inc()
+        else:
+            result.queries += 1
+            n_queries.inc()
+            latencies.append(row["latency_ms"])
+            latency_hist.record(row["latency_ms"])
+            if row.get("warm"):
+                result.warm_hits += 1
+                n_warm.inc()
+            if row.get("coalesced"):
+                result.coalesced += 1
+                n_coalesced.inc()
+        if not row["ok"]:
+            result.errors += 1
+            n_errors.inc()
+
+    t_start = time.perf_counter()
+    try:
+        window: List[Tuple[int, Dict[str, Any]]] = []
+
+        async def flush() -> None:
+            if not window:
+                return
+            rows = await asyncio.gather(
+                *(fire(i, e) for i, e in window)
+            )
+            for row in rows:
+                await account(row)
+            window.clear()
+
+        for index, event in enumerate(trace):
+            if event["type"] == "mutate":
+                await flush()
+                await account(await fire(index, event))
+            else:
+                window.append((index, event))
+                if len(window) >= concurrency:
+                    await flush()
+        await flush()
+    finally:
+        if own_service:
+            await service.aclose()
+
+    result.wall_s = time.perf_counter() - t_start
+    result.count_checksum = trace_checksum(
+        [o for o in outcomes if o is not None]
+    )
+    latencies.sort()
+    result.p50_ms = _percentile(latencies, 0.50)
+    result.p95_ms = _percentile(latencies, 0.95)
+    result.p99_ms = _percentile(latencies, 0.99)
+
+    registry.gauge("replay.warm_hit_rate").set(result.warm_hit_rate)
+    registry.gauge("replay.throughput_qps").set(result.throughput_qps)
+    registry.gauge("replay.p50_ms").set(result.p50_ms)
+    registry.gauge("replay.p95_ms").set(result.p95_ms)
+    registry.gauge("replay.p99_ms").set(result.p99_ms)
+    return result
+
+
+def replay_trace(
+    trace: Sequence[Dict[str, Any]],
+    graphs: Sequence[str],
+    **kwargs: Any,
+) -> ReplayResult:
+    """Synchronous wrapper around :func:`replay_trace_async`."""
+    return asyncio.run(replay_trace_async(trace, graphs, **kwargs))
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    *,
+    name: str = "workload",
+    metrics: Optional[MetricsRegistry] = None,
+    concurrency: int = 1,
+    **service_kwargs: Any,
+) -> ReplayResult:
+    """Generate ``spec``'s trace and replay it against a fresh daemon."""
+    trace = generate_trace(spec)
+    return replay_trace(
+        trace,
+        spec.graphs,
+        name=name,
+        seed=spec.seed,
+        scale=spec.scale,
+        concurrency=concurrency,
+        metrics=metrics,
+        **service_kwargs,
+    )

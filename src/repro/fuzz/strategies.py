@@ -33,13 +33,17 @@ from ..graphs.generators import (
     bipartite_plus_line_graph,
     clique_chain,
     collaboration_graph,
+    configuration_model_graph,
     core_periphery_graph,
     gnm_random_graph,
     hypercube_graph,
     kneser_graph,
+    lattice_graph,
     plant_cliques,
     relaxed_caveman_graph,
+    sbm_graph,
     turan_graph,
+    watts_strogatz_graph,
 )
 
 __all__ = [
@@ -215,6 +219,51 @@ def _sample_growth(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
     return {"n": n, "target": target, "seed": int(rng.integers(2**31))}
 
 
+def _sample_sbm(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    n_blocks = int(rng.integers(2, 4))
+    cap = max(max_n // n_blocks, 3)
+    sizes = [int(rng.integers(3, min(cap, 7) + 1)) for _ in range(n_blocks)]
+    return {
+        "block_sizes": sizes,
+        "p_in": float(rng.uniform(0.5, 0.9)),
+        "p_out": float(rng.uniform(0.0, 0.3)),
+        "seed": int(rng.integers(2**31)),
+    }
+
+
+def _sample_watts_strogatz(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    k_ring = int(rng.integers(1, 3)) * 2  # even, >= 2
+    n = int(rng.integers(k_ring + 2, max(max_n, k_ring + 3) + 1))
+    return {
+        "n": n,
+        "k_ring": k_ring,
+        "p_rewire": float(rng.uniform(0.0, 0.5)),
+        "seed": int(rng.integers(2**31)),
+    }
+
+
+def _sample_lattice(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    n_dims = int(rng.integers(1, 4))
+    dims = [int(rng.integers(2, 5)) for _ in range(n_dims)]
+    return {
+        "dims": dims,
+        "periodic": bool(rng.random() < 0.4),
+        "diagonals": bool(rng.random() < 0.5),
+    }
+
+
+def _sample_configuration(rng: np.random.Generator, max_n: int) -> Dict[str, Any]:
+    # Derive degrees from a realized G(n, m): graphical by construction,
+    # and the list itself is the parameter — the JSON line carries it.
+    n = int(rng.integers(6, max_n + 1))
+    m = int(rng.integers(n, min(n * 2, n * (n - 1) // 2) + 1))
+    proxy = gnm_random_graph(n, m, seed=int(rng.integers(2**31)))
+    return {
+        "degrees": [int(d) for d in proxy.degrees],
+        "seed": int(rng.integers(2**31)),
+    }
+
+
 FAMILIES: Dict[str, _Family] = {
     "gnm": _Family(gnm_random_graph, _sample_gnm),
     "planted": _Family(_build_planted, _sample_planted),
@@ -228,6 +277,10 @@ FAMILIES: Dict[str, _Family] = {
     "bipartite-line": _Family(bipartite_plus_line_graph, _sample_bipartite_line),
     "clique-chain": _Family(clique_chain, _sample_clique_chain),
     "degeneracy-growth": _Family(degeneracy_growth_graph, _sample_growth),
+    "sbm": _Family(sbm_graph, _sample_sbm),
+    "watts-strogatz": _Family(watts_strogatz_graph, _sample_watts_strogatz),
+    "lattice": _Family(lattice_graph, _sample_lattice),
+    "configuration": _Family(configuration_model_graph, _sample_configuration),
 }
 
 

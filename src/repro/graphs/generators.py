@@ -34,6 +34,10 @@ __all__ = [
     "kneser_graph",
     "collaboration_graph",
     "core_periphery_graph",
+    "sbm_graph",
+    "watts_strogatz_graph",
+    "lattice_graph",
+    "configuration_model_graph",
 ]
 
 
@@ -448,6 +452,231 @@ def banded_graph(n: int, bandwidth: int) -> CSRGraph:
     if not parts:
         return empty_graph(n)
     return from_edges(np.concatenate(parts, axis=0), num_vertices=n)
+
+
+def sbm_graph(
+    block_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    seed=None,
+) -> CSRGraph:
+    """Stochastic block model: dense blocks, sparse cross-block edges.
+
+    Vertices are partitioned into consecutive blocks of the given sizes;
+    an intra-block pair is an edge w.p. ``p_in``, an inter-block pair
+    w.p. ``p_out``. With ``p_in > p_out`` this is the community-clustered
+    regime of Table 2's social graphs (Orkut/Ca-DBLP): triangles
+    concentrate inside blocks, and the community order's γ tracks the
+    largest block rather than the whole graph.
+    """
+    sizes = [int(s) for s in block_sizes]
+    if not sizes or min(sizes) < 1:
+        raise ValueError("every block needs at least one vertex")
+    for p, name in ((p_in, "p_in"), (p_out, "p_out")):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must lie in [0, 1], got {p}")
+    rng = _rng(seed)
+    starts = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    n = int(starts[-1])
+    parts: List[np.ndarray] = []
+    for bi in range(len(sizes)):
+        lo_i, hi_i = int(starts[bi]), int(starts[bi + 1])
+        # Intra-block pairs (upper triangle of the block).
+        if sizes[bi] > 1 and p_in > 0:
+            iu, iv = np.triu_indices(sizes[bi], k=1)
+            keep = rng.random(iu.size) < p_in
+            if keep.any():
+                parts.append(
+                    np.stack([iu[keep] + lo_i, iv[keep] + lo_i], axis=1)
+                )
+        # Inter-block pairs against every later block.
+        for bj in range(bi + 1, len(sizes)):
+            if p_out <= 0:
+                continue
+            lo_j = int(starts[bj])
+            left = np.repeat(np.arange(lo_i, hi_i, dtype=np.int64), sizes[bj])
+            right = np.tile(
+                np.arange(lo_j, lo_j + sizes[bj], dtype=np.int64), sizes[bi]
+            )
+            keep = rng.random(left.size) < p_out
+            if keep.any():
+                parts.append(np.stack([left[keep], right[keep]], axis=1))
+    if not parts:
+        return empty_graph(n)
+    return from_edges(np.concatenate(parts, axis=0), num_vertices=n)
+
+
+def watts_strogatz_graph(
+    n: int, k_ring: int, p_rewire: float, seed=None
+) -> CSRGraph:
+    """Watts–Strogatz small world: ring lattice with rewired shortcuts.
+
+    Starts from the ring lattice where every vertex joins its ``k_ring``
+    nearest neighbours (``k_ring/2`` each side), then visits each
+    clockwise edge ``(u, u+d)`` in a fixed order and, with probability
+    ``p_rewire``, replaces its far endpoint with a uniformly random
+    vertex (skipping self-loops and duplicates, in which case the
+    original edge stays). Edge count is therefore exactly
+    ``n * k_ring / 2`` and every vertex keeps its ``k_ring/2`` clockwise
+    spokes, so degrees never drop below ``k_ring // 2``. At ``p = 0``
+    this is the banded/ring regime; small ``p`` adds the long-range
+    shortcuts of the small-world plateau.
+    """
+    if k_ring < 2 or k_ring % 2 != 0:
+        raise ValueError("k_ring must be a positive even integer")
+    if n <= k_ring:
+        raise ValueError("need n > k_ring")
+    if not 0.0 <= p_rewire <= 1.0:
+        raise ValueError("p_rewire must lie in [0, 1]")
+    rng = _rng(seed)
+    half = k_ring // 2
+    adj: List[set] = [set() for _ in range(n)]
+    for d in range(1, half + 1):
+        for u in range(n):
+            adj[u].add((u + d) % n)
+            adj[(u + d) % n].add(u)
+    edges: List[Tuple[int, int]] = []
+    for d in range(1, half + 1):
+        for u in range(n):
+            v = (u + d) % n
+            if p_rewire > 0 and rng.random() < p_rewire:
+                w = int(rng.integers(n))
+                if w != u and w not in adj[u]:
+                    adj[u].discard(v)
+                    adj[v].discard(u)
+                    adj[u].add(w)
+                    adj[w].add(u)
+                    v = w
+            edges.append((u, v))
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
+
+
+def lattice_graph(
+    dims: Sequence[int], periodic: bool = False, diagonals: bool = False
+) -> CSRGraph:
+    """d-dimensional grid lattice, optionally periodic or with diagonals.
+
+    Without diagonals this is the bipartite mesh: triangle-free, so it
+    carries no clique of size above 2 — the degenerate extreme of the
+    structural-matrix regime. With ``diagonals`` vertices at Chebyshev
+    distance 1 are adjacent (the king graph), whose maximal cliques are
+    the ``2**d`` corners of a unit cell — rich in medium cliques like the
+    'Gearbox' mesh, but still clique-free above ``2**len(dims)``.
+    """
+    sizes = [int(d) for d in dims]
+    if not sizes or min(sizes) < 1:
+        raise ValueError("every lattice dimension must be >= 1")
+    ndim = len(sizes)
+    coords = np.stack(
+        np.meshgrid(*[np.arange(s) for s in sizes], indexing="ij"), axis=-1
+    ).reshape(-1, ndim)
+    n = coords.shape[0]
+    strides = np.ones(ndim, dtype=np.int64)
+    for i in range(ndim - 2, -1, -1):
+        strides[i] = strides[i + 1] * sizes[i + 1]
+
+    if diagonals:
+        offsets = [
+            off
+            for off in itertools.product((-1, 0, 1), repeat=ndim)
+            if any(off)
+        ]
+        # Keep one representative per ± pair (first nonzero positive).
+        offsets = [
+            off for off in offsets if off[next(i for i, o in enumerate(off) if o)] > 0
+        ]
+    else:
+        offsets = [
+            tuple(1 if i == axis else 0 for i in range(ndim))
+            for axis in range(ndim)
+        ]
+    parts: List[np.ndarray] = []
+    for off in offsets:
+        nbr = coords + np.asarray(off, dtype=np.int64)
+        if periodic:
+            ok = np.ones(n, dtype=bool)
+            nbr = nbr % np.asarray(sizes, dtype=np.int64)
+        else:
+            ok = np.all((nbr >= 0) & (nbr < np.asarray(sizes)), axis=1)
+        if not ok.any():
+            continue
+        us = (coords[ok] * strides).sum(axis=1)
+        vs = (nbr[ok] * strides).sum(axis=1)
+        keep = us != vs  # periodic wrap on a size-1/size-2 axis can alias
+        parts.append(np.stack([us[keep], vs[keep]], axis=1))
+    if not parts:
+        return empty_graph(n)
+    return from_edges(np.concatenate(parts, axis=0), num_vertices=n)
+
+
+def configuration_model_graph(degrees: Sequence[int], seed=None) -> CSRGraph:
+    """A simple graph realizing ``degrees`` exactly, randomized by swaps.
+
+    Havel–Hakimi builds a deterministic realization of the (graphical)
+    degree sequence; a seeded pass of degree-preserving double-edge
+    swaps then randomizes the wiring while keeping every vertex's degree
+    byte-for-byte what was requested. Non-graphical sequences raise
+    ``ValueError``. This is the degree-controlled regime: the same
+    heavy-tailed sequence as a scraped topology, with no other structure.
+    """
+    deg = [int(d) for d in degrees]
+    if any(d < 0 for d in deg):
+        raise ValueError("degrees must be non-negative")
+    n = len(deg)
+    if any(d >= n for d in deg):
+        raise ValueError("a simple graph caps degrees at n - 1")
+    if sum(deg) % 2 != 0:
+        raise ValueError("degree sum must be even")
+    rng = _rng(seed)
+    # Havel–Hakimi on (residual degree, vertex id) pairs.
+    residual = [(d, v) for v, d in enumerate(deg)]
+    adj: List[set] = [set() for _ in range(n)]
+    edges: List[Tuple[int, int]] = []
+    while True:
+        residual.sort(key=lambda t: (-t[0], t[1]))
+        d, v = residual[0]
+        if d == 0:
+            break
+        if d >= len(residual):
+            raise ValueError("degree sequence is not graphical")
+        targets = residual[1 : d + 1]
+        if any(td == 0 for td, _ in targets):
+            raise ValueError("degree sequence is not graphical")
+        residual[0] = (0, v)
+        for i, (td, tv) in enumerate(targets, start=1):
+            edges.append((min(v, tv), max(v, tv)))
+            adj[v].add(tv)
+            adj[tv].add(v)
+            residual[i] = (td - 1, tv)
+    m = len(edges)
+    # Seeded double-edge swaps: (a,b),(c,d) -> (a,d),(c,b) when simple.
+    for _ in range(4 * m):
+        if m < 2:
+            break
+        i, j = (int(x) for x in rng.integers(0, m, size=2))
+        if i == j:
+            continue
+        a, b = edges[i]
+        c, d = edges[j]
+        if rng.random() < 0.5:
+            c, d = d, c
+        if len({a, b, c, d}) < 4:
+            continue
+        if d in adj[a] or b in adj[c]:
+            continue
+        adj[a].discard(b)
+        adj[b].discard(a)
+        adj[c].discard(d)
+        adj[d].discard(c)
+        adj[a].add(d)
+        adj[d].add(a)
+        adj[c].add(b)
+        adj[b].add(c)
+        edges[i] = (min(a, d), max(a, d))
+        edges[j] = (min(c, b), max(c, b))
+    if not edges:
+        return empty_graph(n)
+    return from_edges(np.asarray(edges, dtype=np.int64), num_vertices=n)
 
 
 def kneser_graph(ground: int, subset: int) -> CSRGraph:

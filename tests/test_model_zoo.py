@@ -1,0 +1,278 @@
+"""The model zoo: SBM, Watts–Strogatz, lattice, configuration model.
+
+Shape-invariant property tests (Hypothesis over seeded parameters),
+seeded byte-identical replay, differential count checks against every
+engine, the fuzz-family registration, and the bench presets.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_count
+from repro.bench.datasets import ZOO_PRESETS, load_dataset, zoo_names
+from repro.core import count_cliques
+from repro.fuzz.strategies import FAMILIES, CaseSpec, edge_list
+from repro.graphs import (
+    configuration_model_graph,
+    lattice_graph,
+    sbm_graph,
+    watts_strogatz_graph,
+)
+
+SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSeededReplay:
+    """Equal seeds ⇒ byte-identical edge lists (the _rng contract)."""
+
+    def test_sbm_replay(self):
+        a = sbm_graph([6, 5, 4], 0.7, 0.1, seed=9)
+        b = sbm_graph([6, 5, 4], 0.7, 0.1, seed=9)
+        c = sbm_graph([6, 5, 4], 0.7, 0.1, seed=10)
+        assert edge_list(a) == edge_list(b)
+        assert edge_list(a) != edge_list(c)
+
+    def test_watts_strogatz_replay(self):
+        a = watts_strogatz_graph(30, 4, 0.3, seed=9)
+        b = watts_strogatz_graph(30, 4, 0.3, seed=9)
+        assert edge_list(a) == edge_list(b)
+
+    def test_configuration_replay(self):
+        deg = [3, 3, 3, 2, 2, 2, 2, 1]
+        a = configuration_model_graph(deg, seed=9)
+        b = configuration_model_graph(deg, seed=9)
+        assert edge_list(a) == edge_list(b)
+
+    def test_generator_passthrough(self):
+        # A Generator passed instead of an int is consumed in place:
+        # hierarchical seeding draws two *different* graphs from one
+        # parent stream, replayable from the parent seed alone.
+        rng = np.random.default_rng(5)
+        g1 = sbm_graph([5, 5], 0.8, 0.1, seed=rng)
+        g2 = sbm_graph([5, 5], 0.8, 0.1, seed=rng)
+        rng2 = np.random.default_rng(5)
+        h1 = sbm_graph([5, 5], 0.8, 0.1, seed=rng2)
+        h2 = sbm_graph([5, 5], 0.8, 0.1, seed=rng2)
+        assert edge_list(g1) == edge_list(h1)
+        assert edge_list(g2) == edge_list(h2)
+        assert edge_list(g1) != edge_list(g2)
+
+
+class TestSBM:
+    @settings(**SETTINGS)
+    @given(seed=seeds, p_in=st.floats(0.6, 0.95), p_out=st.floats(0.0, 0.2))
+    def test_intra_block_denser_than_inter(self, seed, p_in, p_out):
+        sizes = [8, 8, 8]
+        g = sbm_graph(sizes, p_in, p_out, seed=seed)
+        starts = np.concatenate([[0], np.cumsum(sizes)])
+        block = np.repeat(np.arange(len(sizes)), sizes)
+        us, vs = g.edge_array()
+        same = int(np.sum(block[us] == block[vs]))
+        cross = us.size - same
+        intra_pairs = sum(s * (s - 1) // 2 for s in sizes)
+        inter_pairs = (
+            sum(sizes) * (sum(sizes) - 1) // 2 - intra_pairs
+        )
+        # Edge-probability ordering: realized intra density must beat
+        # realized inter density whenever p_in - p_out is material.
+        assert same / intra_pairs >= cross / max(inter_pairs, 1) - 0.05
+        assert g.num_vertices == sum(sizes)
+        del starts
+
+    def test_extremes_give_union_of_cliques(self):
+        g = sbm_graph([4, 5, 6], 1.0, 0.0, seed=0)
+        # p_in=1, p_out=0: disjoint cliques of the block sizes.
+        assert g.num_edges == 4 * 3 // 2 + 5 * 4 // 2 + 6 * 5 // 2
+        assert count_cliques(g, 6).count == 1  # only the 6-block
+        assert count_cliques(g, 7).count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sbm_graph([], 0.5, 0.1, seed=0)
+        with pytest.raises(ValueError):
+            sbm_graph([3, 0], 0.5, 0.1, seed=0)
+        with pytest.raises(ValueError):
+            sbm_graph([3, 3], 1.5, 0.1, seed=0)
+        with pytest.raises(ValueError):
+            sbm_graph([3, 3], 0.5, -0.1, seed=0)
+
+
+class TestWattsStrogatz:
+    @settings(**SETTINGS)
+    @given(
+        seed=seeds,
+        n=st.integers(8, 40),
+        half=st.integers(1, 3),
+        p=st.floats(0.0, 1.0),
+    )
+    def test_edge_count_and_degree_bounds(self, seed, n, half, p):
+        k_ring = 2 * half
+        g = watts_strogatz_graph(n, k_ring, p, seed=seed)
+        # Rewiring moves endpoints but never adds or removes edges.
+        assert g.num_edges == n * k_ring // 2
+        # Each vertex keeps its k/2 clockwise stubs: degree >= k/2.
+        assert int(g.degrees.min()) >= half
+        assert g.num_vertices == n
+
+    def test_zero_rewire_is_ring_lattice(self):
+        g = watts_strogatz_graph(12, 4, 0.0, seed=0)
+        degs = g.degrees
+        assert int(degs.min()) == 4 and int(degs.max()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1, seed=0)  # odd k_ring
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 4, 0.1, seed=0)  # n <= k_ring
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 4, 1.5, seed=0)
+
+
+class TestLattice:
+    @settings(**SETTINGS)
+    @given(
+        dims=st.lists(st.integers(2, 4), min_size=1, max_size=3),
+        periodic=st.booleans(),
+    )
+    def test_axis_aligned_lattice_is_triangle_free(self, dims, periodic):
+        # Without diagonals the lattice is bipartite (parity of the
+        # coordinate sum) when aperiodic; triangles need odd cycles. A
+        # periodic wrap on an odd side can create odd cycles but never
+        # length-3 ones for sides > 3, so k=3 stays empty whenever every
+        # periodic side exceeds 3 — here sides <= 4, so restrict the
+        # assertion to the aperiodic case plus even-periodic ones.
+        if periodic and any(d % 2 for d in dims):
+            return
+        g = lattice_graph(dims, periodic=periodic)
+        assert count_cliques(g, 3).count == 0
+
+    @settings(**SETTINGS)
+    @given(dims=st.lists(st.integers(2, 3), min_size=1, max_size=3))
+    def test_king_graph_clique_free_above_2_to_dim(self, dims):
+        # With diagonals, a maximal clique is one unit hypercube cell:
+        # 2^d vertices. Cliques above k = 2^d cannot exist — for the
+        # d-dimensional king graph this pins the issue's "clique-free
+        # above k = 2·dim" bound (tight at d <= 2, conservative above).
+        g = lattice_graph(dims, diagonals=True)
+        d = len(dims)
+        assert count_cliques(g, 2**d + 1).count == 0
+        if all(s >= 2 for s in dims):
+            assert count_cliques(g, 2**d).count > 0
+
+    def test_grid_shape(self):
+        g = lattice_graph([4, 5])
+        assert g.num_vertices == 20
+        assert g.num_edges == 3 * 5 + 4 * 4  # 4x5 grid: 31 edges
+
+    def test_periodic_wrap(self):
+        g = lattice_graph([4, 4], periodic=True)
+        degs = g.degrees
+        assert int(degs.min()) == 4 and int(degs.max()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lattice_graph([])
+        with pytest.raises(ValueError):
+            lattice_graph([0, 3])
+
+
+class TestConfigurationModel:
+    @settings(**SETTINGS)
+    @given(seed=seeds, n=st.integers(6, 24), m_factor=st.integers(1, 3))
+    def test_realizes_requested_degree_sequence(self, seed, n, m_factor):
+        from repro.graphs import gnm_random_graph
+
+        # Derive a graphical sequence from a realized G(n, m).
+        proxy = gnm_random_graph(
+            n, min(n * m_factor, n * (n - 1) // 2), seed=seed
+        )
+        degrees = [int(d) for d in proxy.degrees]
+        g = configuration_model_graph(degrees, seed=seed)
+        assert [int(d) for d in g.degrees] == degrees
+
+    def test_non_graphical_rejected(self):
+        with pytest.raises(ValueError, match="not graphical"):
+            configuration_model_graph([3, 3, 1, 1], seed=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            configuration_model_graph([3, 2, 2], seed=0)  # odd sum
+        with pytest.raises(ValueError):
+            configuration_model_graph([-1, 1], seed=0)
+        with pytest.raises(ValueError):
+            configuration_model_graph([5, 1, 1], seed=0)  # degree >= n
+
+
+NEW_FAMILIES = ("sbm", "watts-strogatz", "lattice", "configuration")
+
+
+class TestDifferentialCounts:
+    """Reference vs frontier vs sharded on small instances of every
+    new family — the acceptance criterion's cross-engine check."""
+
+    @pytest.mark.parametrize("family", NEW_FAMILIES)
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_engines_agree_with_brute_force(self, family, k):
+        rng = np.random.default_rng(1234)
+        for _ in range(3):
+            params = FAMILIES[family].sample(rng, 14)
+            g = FAMILIES[family].build(**params)
+            expected = brute_force_count(g, k)
+            assert count_cliques(g, k, engine="reference").count == expected
+            assert count_cliques(g, k, engine="frontier").count == expected
+            assert (
+                count_cliques(
+                    g, k, engine="sharded", memory_budget_bytes=1 << 14
+                ).count
+                == expected
+            )
+
+
+class TestFuzzRegistration:
+    """Satellite: the four families fuzz from day one, replayable from
+    one JSON line."""
+
+    @pytest.mark.parametrize("family", NEW_FAMILIES)
+    def test_family_registered_and_replayable(self, family):
+        assert family in FAMILIES
+        rng = np.random.default_rng(7)
+        params = FAMILIES[family].sample(rng, 20)
+        assert json.loads(json.dumps(params)) == params
+        spec = CaseSpec(family=family, params=params)
+        rebuilt = CaseSpec.from_json(spec.to_json())
+        assert edge_list(spec.build()) == edge_list(rebuilt.build())
+
+
+class TestZooPresets:
+    def test_presets_registered_in_datasets(self):
+        for name in ("sbm-community", "ws-smallworld", "lattice-mesh",
+                     "config-powerlaw"):
+            assert name in ZOO_PRESETS
+        assert set(zoo_names()) == set(ZOO_PRESETS)
+
+    @pytest.mark.parametrize("name", sorted(ZOO_PRESETS))
+    def test_presets_load_at_multiple_scales(self, name):
+        small = load_dataset(name, scale=0.5)
+        full = load_dataset(name, scale=1.0)
+        assert small.num_vertices >= 32
+        assert full.num_edges > small.num_edges
+        # Memoized: the same (name, scale) returns the same object.
+        assert load_dataset(name, scale=0.5) is small
+
+    def test_presets_have_planted_cliques(self):
+        # Every preset plants >= 11-cliques so the k-sweep is non-trivial.
+        from repro.core.existence import find_clique
+
+        for name in zoo_names():
+            g = load_dataset(name, scale=0.5)
+            assert find_clique(g, 11) is not None, name
